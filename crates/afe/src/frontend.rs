@@ -1,0 +1,341 @@
+//! Transient simulation of the complete analogue front-end.
+//!
+//! [`FrontEnd`] wires the triangular oscillator, a V-I converter, one
+//! fluxgate element and the pulse-position detector into the transient
+//! readout chain of Fig. 1's analogue section, and runs it over a
+//! configurable number of excitation periods. The output is both the raw
+//! waveform set (for the Fig. 3 / Fig. 4 reproductions) and the measured
+//! detector duty cycle (what the digital counter will digitise).
+//!
+//! The closed-form expectation, derived in the [`detector`](crate::detector)
+//! docs, is `duty = 1/2 − H_ext/(2·H_peak)`; the simulation reproduces it
+//! including all modelled non-idealities (comparator thresholds, noise,
+//! clipping, hysteretic cores).
+
+use crate::detector::{duty_cycle, DetectorConfig, PulsePositionDetector};
+use crate::oscillator::TriangleWave;
+use crate::vi_converter::ViConverter;
+use fluxcomp_fluxgate::noise::GaussianNoise;
+use fluxcomp_fluxgate::transducer::{Fluxgate, FluxgateParams};
+use fluxcomp_msim::time::SimTime;
+use fluxcomp_msim::trace::TraceSet;
+use fluxcomp_units::magnetics::AmperePerMeter;
+use fluxcomp_units::si::Seconds;
+
+/// Configuration of one front-end channel.
+#[derive(Debug, Clone)]
+pub struct FrontEndConfig {
+    /// The excitation waveform.
+    pub excitation: TriangleWave,
+    /// The V-I converter driving the sensor.
+    pub vi: ViConverter,
+    /// The sensor element.
+    pub sensor: FluxgateParams,
+    /// The pulse detector.
+    pub detector: DetectorConfig,
+    /// RMS noise added to the pickup voltage, in volts.
+    pub pickup_noise_rms: f64,
+    /// Noise seed.
+    pub noise_seed: u64,
+    /// Analogue samples per excitation period.
+    pub samples_per_period: usize,
+    /// Settling periods discarded before measurement.
+    pub settle_periods: usize,
+    /// Measurement periods.
+    pub measure_periods: usize,
+}
+
+impl FrontEndConfig {
+    /// The paper's operating point: 12 mA p-p @ 8 kHz through the adapted
+    /// sensor, paper detector design, no noise, 4096 samples/period
+    /// (the analogue grid is synchronous with the excitation, so the
+    /// detector edges quantise to it — 4096 keeps that quantisation well
+    /// below the counter's own), 1 settle + 4 measure periods.
+    pub fn paper_design() -> Self {
+        Self {
+            excitation: TriangleWave::paper_excitation(),
+            vi: ViConverter::paper_design(),
+            sensor: FluxgateParams::adapted(),
+            detector: DetectorConfig::paper_design(),
+            pickup_noise_rms: 0.0,
+            noise_seed: 0x5EED,
+            samples_per_period: 4096,
+            settle_periods: 1,
+            measure_periods: 4,
+        }
+    }
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        Self::paper_design()
+    }
+}
+
+/// Result of a front-end transient run.
+#[derive(Debug, Clone)]
+pub struct FrontEndResult {
+    /// Measured high fraction of the detector output over the
+    /// measurement periods.
+    pub duty: f64,
+    /// Detector output samples (measurement periods only), in time order.
+    pub detector_samples: Vec<bool>,
+    /// Full waveform set: `i_exc`, `v_exc`, `v_pickup`, `detector`.
+    pub traces: TraceSet,
+    /// `true` if the V-I converter clipped at any point in the run.
+    pub clipped: bool,
+}
+
+impl FrontEndResult {
+    /// The field estimate implied by the duty cycle, inverted through the
+    /// ideal detector equation `duty = 1/2 − H/(2·H_peak)`.
+    pub fn field_estimate(&self, h_peak: AmperePerMeter) -> AmperePerMeter {
+        h_peak * ((0.5 - self.duty) * 2.0)
+    }
+}
+
+/// One analogue front-end channel (oscillator → V-I → sensor → detector).
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    config: FrontEndConfig,
+    sensor: Fluxgate,
+}
+
+impl FrontEnd {
+    /// Builds the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_period < 16` or `measure_periods == 0`, or
+    /// if the sensor parameters are invalid.
+    pub fn new(config: FrontEndConfig) -> Self {
+        assert!(
+            config.samples_per_period >= 16,
+            "need at least 16 samples per period"
+        );
+        assert!(config.measure_periods > 0, "need at least one measurement period");
+        let sensor = Fluxgate::new(config.sensor);
+        Self { config, sensor }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FrontEndConfig {
+        &self.config
+    }
+
+    /// The sensor element.
+    pub fn sensor(&self) -> &Fluxgate {
+        &self.sensor
+    }
+
+    /// The peak excitation field the configured drive produces (after
+    /// V-I compliance limiting).
+    pub fn peak_excitation_field(&self) -> AmperePerMeter {
+        let demanded = self.config.excitation.amplitude_pp() / 2.0
+            + self.config.excitation.dc_offset().abs();
+        let delivered = self
+            .config
+            .vi
+            .drive(demanded, self.config.sensor.r_excitation);
+        self.sensor.h_from_current(delivered)
+    }
+
+    /// Runs the transient readout with external axial field `h_ext` and
+    /// returns the measured duty cycle plus all waveforms.
+    pub fn run(&self, h_ext: AmperePerMeter) -> FrontEndResult {
+        let cfg = &self.config;
+        let period = 1.0 / cfg.excitation.frequency().value();
+        let n = cfg.samples_per_period;
+        let dt = period / n as f64;
+        let total_periods = cfg.settle_periods + cfg.measure_periods;
+
+        let mut detector = PulsePositionDetector::new(cfg.detector);
+        let mut noise = GaussianNoise::new(cfg.pickup_noise_rms, cfg.noise_seed);
+
+        let mut traces = TraceSet::new();
+        let ch_i = traces.add("i_exc");
+        let ch_ve = traces.add("v_exc");
+        let ch_vp = traces.add("v_pickup");
+        let ch_d = traces.add("detector");
+
+        let mut detector_samples = Vec::with_capacity(cfg.measure_periods * n);
+        let mut clipped = false;
+
+        for k in 0..total_periods * n {
+            let t = k as f64 * dt;
+            let sim_t = SimTime::from_seconds(Seconds::new(t));
+
+            // Oscillator → V-I converter (with compliance limiting).
+            let demanded = cfg.excitation.value(t);
+            let i = cfg.vi.drive(demanded, cfg.sensor.r_excitation);
+            clipped |= cfg.vi.clips(demanded, cfg.sensor.r_excitation);
+            let di_dt = if i == demanded {
+                cfg.excitation.slope(t)
+            } else {
+                0.0 // clipped: current pinned at the compliance limit
+            };
+
+            // Sensor: total field, pickup EMF, excitation-coil voltage.
+            let h = self.sensor.h_from_current(i) + h_ext;
+            let dh_dt = self.sensor.dh_dt_from_current(di_dt);
+            let mut v_pickup = self.sensor.pickup_emf(h, dh_dt);
+            v_pickup += fluxcomp_units::Volt::new(noise.sample());
+            let v_exc = self.sensor.excitation_voltage(i, di_dt, h_ext);
+
+            // Detector.
+            let out = detector.step(v_pickup);
+
+            traces.record(ch_i, sim_t, i.value());
+            traces.record(ch_ve, sim_t, v_exc.value());
+            traces.record(ch_vp, sim_t, v_pickup.value());
+            traces.record(ch_d, sim_t, if out { 1.0 } else { 0.0 });
+
+            if k >= cfg.settle_periods * n {
+                detector_samples.push(out);
+            }
+        }
+
+        let duty = duty_cycle(&detector_samples).unwrap_or(0.5);
+        FrontEndResult {
+            duty,
+            detector_samples,
+            traces,
+            clipped,
+        }
+    }
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        Self::new(FrontEndConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluxcomp_units::magnetics::MU_0;
+
+    fn h_from_microtesla(ut: f64) -> AmperePerMeter {
+        AmperePerMeter::new(ut * 1e-6 / MU_0)
+    }
+
+    #[test]
+    fn zero_field_gives_half_duty() {
+        let fe = FrontEnd::default();
+        let r = fe.run(AmperePerMeter::ZERO);
+        assert!(
+            (r.duty - 0.5).abs() < 0.005,
+            "duty = {} should be 0.5",
+            r.duty
+        );
+        assert!(!r.clipped);
+    }
+
+    #[test]
+    fn duty_shift_is_linear_in_field() {
+        let fe = FrontEnd::default();
+        let h_peak = fe.peak_excitation_field();
+        // 15 µT ≈ 11.9 A/m; H_peak = 240 A/m → expected shift ≈ 0.0249.
+        let h1 = h_from_microtesla(15.0);
+        let d1 = fe.run(h1).duty;
+        let expected1 = 0.5 - h1.value() / (2.0 * h_peak.value());
+        assert!((d1 - expected1).abs() < 0.005, "{d1} vs {expected1}");
+        // Twice the field → twice the shift, within tolerance.
+        let h2 = h_from_microtesla(30.0);
+        let d2 = fe.run(h2).duty;
+        let shift1 = 0.5 - d1;
+        let shift2 = 0.5 - d2;
+        assert!(
+            (shift2 / shift1 - 2.0).abs() < 0.15,
+            "shift ratio {}",
+            shift2 / shift1
+        );
+    }
+
+    #[test]
+    fn negative_field_shifts_duty_the_other_way() {
+        let fe = FrontEnd::default();
+        let plus = fe.run(h_from_microtesla(20.0)).duty;
+        let minus = fe.run(h_from_microtesla(-20.0)).duty;
+        assert!(plus < 0.5 && minus > 0.5);
+        // Symmetric response.
+        assert!(((0.5 - plus) - (minus - 0.5)).abs() < 0.005);
+    }
+
+    #[test]
+    fn field_estimate_inverts_duty() {
+        let fe = FrontEnd::default();
+        let h = h_from_microtesla(25.0);
+        let r = fe.run(h);
+        let est = r.field_estimate(fe.peak_excitation_field());
+        let rel = (est.value() - h.value()).abs() / h.value();
+        assert!(rel < 0.05, "estimate {est} vs {h}, rel err {rel}");
+    }
+
+    #[test]
+    fn traces_are_complete() {
+        let fe = FrontEnd::default();
+        let r = fe.run(AmperePerMeter::ZERO);
+        for name in ["i_exc", "v_exc", "v_pickup", "detector"] {
+            let tr = r.traces.by_name(name).unwrap();
+            assert_eq!(tr.len(), (1 + 4) * 4096, "{name}");
+        }
+        // Pickup shows both polarities of pulses.
+        let (lo, hi) = r.traces.by_name("v_pickup").unwrap().value_range().unwrap();
+        assert!(lo < -0.02 && hi > 0.02, "pulses missing: {lo}..{hi}");
+    }
+
+    #[test]
+    fn peak_excitation_field_matches_design_point() {
+        let fe = FrontEnd::default();
+        // ±6 mA × 40 turns / 1 mm = 240 A/m = 2× saturation field.
+        assert!((fe.peak_excitation_field().value() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_perturbs_but_does_not_break_readout() {
+        let mut cfg = FrontEndConfig::paper_design();
+        cfg.pickup_noise_rms = 2e-3; // 2 mV RMS on ~58 mV pulses
+        // Size the hysteresis well above the noise (≫ 3σ both ways), as a
+        // real detector design would — otherwise comparator chatter inside
+        // a pulse releases the latch early (see the E1 hysteresis
+        // ablation, which sweeps this deliberately).
+        cfg.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
+        cfg.measure_periods = 8;
+        let fe = FrontEnd::new(cfg);
+        let h = h_from_microtesla(20.0);
+        let r = fe.run(h);
+        let est = r.field_estimate(fe.peak_excitation_field());
+        let rel = (est.value() - h.value()).abs() / h.value();
+        assert!(rel < 0.15, "rel err {rel} under noise");
+    }
+
+    #[test]
+    fn excessive_drive_reports_clipping() {
+        let mut cfg = FrontEndConfig::paper_design();
+        cfg.sensor.r_excitation = fluxcomp_units::Ohm::new(2_000.0);
+        let fe = FrontEnd::new(cfg);
+        let r = fe.run(AmperePerMeter::ZERO);
+        assert!(r.clipped);
+    }
+
+    #[test]
+    fn hysteretic_core_still_reads_field() {
+        let mut cfg = FrontEndConfig::paper_design();
+        cfg.sensor = FluxgateParams::adapted_hysteretic(0.1);
+        let fe = FrontEnd::new(cfg);
+        let h = h_from_microtesla(20.0);
+        let est = fe.run(h).field_estimate(fe.peak_excitation_field());
+        let rel = (est.value() - h.value()).abs() / h.value();
+        assert!(rel < 0.1, "rel err {rel} with hysteresis");
+    }
+
+    #[test]
+    #[should_panic(expected = "samples per period")]
+    fn too_few_samples_rejected() {
+        let mut cfg = FrontEndConfig::paper_design();
+        cfg.samples_per_period = 8;
+        let _ = FrontEnd::new(cfg);
+    }
+}

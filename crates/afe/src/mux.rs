@@ -1,0 +1,194 @@
+//! The analogue multiplexer steering the excitation to one sensor at a
+//! time (paper §2: "The system uses a multiplexing technique by exciting
+//! one sensor at a time").
+//!
+//! The switch is a CMOS transmission gate pair per channel. The three
+//! non-idealities that matter for the compass:
+//!
+//! * **on-resistance** `R_on` adds to the sensor's series resistance —
+//!   it eats into the V-I compliance budget (the 800 Ω claim shrinks by
+//!   `R_on`);
+//! * **settling time** after a channel switch: the sensor's L/R time
+//!   constant means the first excitation period after switching is
+//!   distorted — exactly why the front-end discards settle periods;
+//! * **charge injection** at the switching instant: a one-off charge
+//!   dumped into the sensor, harmless at 8 kHz but modelled for
+//!   completeness.
+
+use fluxcomp_fluxgate::pair::Axis;
+use fluxcomp_units::si::{Henry, Ohm, Seconds};
+
+/// The analogue multiplexer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogMux {
+    /// Per-channel on-resistance.
+    pub r_on: Ohm,
+    /// Charge injected per switching event, in coulombs.
+    pub charge_injection: f64,
+    selected: Axis,
+    /// Switch events since construction.
+    switch_count: u64,
+}
+
+impl AnalogMux {
+    /// A mid-90s CMOS transmission gate: ~25 Ω on-resistance, ~1 pC of
+    /// injected charge.
+    pub fn sog_switch() -> Self {
+        Self {
+            r_on: Ohm::new(25.0),
+            charge_injection: 1e-12,
+            selected: Axis::X,
+            switch_count: 0,
+        }
+    }
+
+    /// The currently routed sensor.
+    pub fn selected(&self) -> Axis {
+        self.selected
+    }
+
+    /// Number of switching events so far.
+    pub fn switch_count(&self) -> u64 {
+        self.switch_count
+    }
+
+    /// Routes the excitation to `axis`; returns `true` if this was an
+    /// actual switch (selecting the already-routed channel is free).
+    pub fn select(&mut self, axis: Axis) -> bool {
+        if axis == self.selected {
+            return false;
+        }
+        self.selected = axis;
+        self.switch_count += 1;
+        true
+    }
+
+    /// The total series resistance the V-I converter sees: sensor plus
+    /// switch.
+    pub fn effective_load(&self, sensor_resistance: Ohm) -> Ohm {
+        sensor_resistance + self.r_on
+    }
+
+    /// The L/R settling time constant after a switch, given the sensor's
+    /// permeable-state inductance.
+    pub fn settling_tau(&self, inductance: Henry, sensor_resistance: Ohm) -> Seconds {
+        Seconds::new(inductance.value() / self.effective_load(sensor_resistance).value())
+    }
+
+    /// Excitation periods to discard after a switch so that the residual
+    /// settling transient is below `fraction` (e.g. `1e-4`) — the number
+    /// the front-end's `settle_periods` must cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    pub fn settle_periods_needed(
+        &self,
+        inductance: Henry,
+        sensor_resistance: Ohm,
+        excitation_period: Seconds,
+        fraction: f64,
+    ) -> u32 {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        let tau = self.settling_tau(inductance, sensor_resistance).value();
+        let needed_time = -fraction.ln() * tau;
+        (needed_time / excitation_period.value()).ceil().max(0.0) as u32
+    }
+
+    /// The worst-case field-equivalent error of one charge-injection
+    /// event, expressed as a fraction of a measurement: the injected
+    /// charge flows as a current spike `Q/T` over one period, producing
+    /// a momentary excitation-field error that the multi-period average
+    /// divides down.
+    pub fn charge_injection_field_error(
+        &self,
+        turns_per_meter: f64,
+        excitation_period: Seconds,
+        measure_periods: u32,
+    ) -> f64 {
+        let i_equiv = self.charge_injection / excitation_period.value();
+        turns_per_meter * i_equiv / measure_periods as f64
+    }
+}
+
+impl Default for AnalogMux {
+    fn default() -> Self {
+        Self::sog_switch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_and_switch_counting() {
+        let mut mux = AnalogMux::sog_switch();
+        assert_eq!(mux.selected(), Axis::X);
+        assert!(!mux.select(Axis::X), "re-select is free");
+        assert_eq!(mux.switch_count(), 0);
+        assert!(mux.select(Axis::Y));
+        assert!(mux.select(Axis::X));
+        assert_eq!(mux.switch_count(), 2);
+    }
+
+    #[test]
+    fn on_resistance_eats_compliance() {
+        let mux = AnalogMux::sog_switch();
+        // The 800 Ω headline becomes ~775 Ω of *sensor* budget.
+        let load = mux.effective_load(Ohm::new(775.0));
+        assert_eq!(load, Ohm::new(800.0));
+    }
+
+    #[test]
+    fn settling_is_fast_relative_to_a_period() {
+        // 200 µH / 102 Ω ≈ 2 µs — far below the 125 µs period, which is
+        // why one settle period is plenty.
+        let mux = AnalogMux::sog_switch();
+        let tau = mux.settling_tau(Henry::new(200e-6), Ohm::new(77.0));
+        assert!((tau.value() - 200e-6 / 102.0).abs() < 1e-12);
+        let periods = mux.settle_periods_needed(
+            Henry::new(200e-6),
+            Ohm::new(77.0),
+            Seconds::new(125e-6),
+            1e-6,
+        );
+        assert_eq!(periods, 1);
+    }
+
+    #[test]
+    fn slow_settling_needs_more_periods() {
+        // A hypothetical huge inductance.
+        let mux = AnalogMux::sog_switch();
+        let periods = mux.settle_periods_needed(
+            Henry::new(50e-3),
+            Ohm::new(77.0),
+            Seconds::new(125e-6),
+            1e-6,
+        );
+        assert!(periods > 10, "{periods}");
+    }
+
+    #[test]
+    fn charge_injection_is_negligible_at_the_design_point() {
+        let mux = AnalogMux::sog_switch();
+        // 40 turns/mm = 40 000 /m; 1 pC over 125 µs = 8 nA equivalent.
+        let err = mux.charge_injection_field_error(40_000.0, Seconds::new(125e-6), 8);
+        // Equivalent field error: 40000 × 8nA / 8 = 4e-5 A/m — versus an
+        // earth-field signal of ~12 A/m: 6 orders below.
+        assert!(err < 1e-4, "field error {err} A/m");
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        let mux = AnalogMux::sog_switch();
+        let _ = mux.settle_periods_needed(
+            Henry::new(1e-3),
+            Ohm::new(77.0),
+            Seconds::new(125e-6),
+            1.5,
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Power modelling (paper §2, §4 / experiment E7).
+//!
+//! The paper's power-reduction levers:
+//!
+//! * **multiplexing** — "exciting one sensor at a time … reduces both
+//!   momentary power consumption and chip area since only one oscillator
+//!   is needed";
+//! * **duty-cycled enables** — the digital control "enables the analogue
+//!   section and the digital high speed up-down counter only when they
+//!   are needed";
+//! * **supply scaling** — "the supply voltage is currently 5 Volts, but
+//!   can be scaled down to 3.5 V".
+//!
+//! [`PowerModel`] accounts per-block average supply current and computes
+//! momentary and average power for a given operating schedule. The block
+//! currents are design estimates consistent with mid-1990s CMOS SoG
+//! practice (documented per block); the *relative* savings — which are
+//! what the paper claims — follow from the schedule arithmetic, not from
+//! the absolute values.
+
+use fluxcomp_units::si::{Ampere, Volt, Watt};
+
+/// Average supply-current draw of each block while enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCurrents {
+    /// Triangular oscillator + bias (one instance regardless of sensor
+    /// count — the multiplexing argument).
+    pub oscillator: Ampere,
+    /// One V-I converter channel *driving a sensor*: dominated by the
+    /// excitation current itself (mean |i| = 3 mA for the paper's
+    /// triangle) plus bias.
+    pub vi_converter_active: Ampere,
+    /// Pulse-detector comparators.
+    pub detector: Ampere,
+    /// The 4.194304 MHz up/down counter while counting (CV²f dynamic
+    /// power expressed as equivalent supply current at 5 V).
+    pub counter: Ampere,
+    /// CORDIC arctan unit while computing (8 cycles per fix — almost
+    /// negligible duty).
+    pub arctan: Ampere,
+    /// Watch/RTC and LCD driver (always on).
+    pub watch_lcd: Ampere,
+}
+
+impl BlockCurrents {
+    /// Design estimates for the paper's 5 V SoG implementation.
+    pub fn sog_estimates() -> Self {
+        Self {
+            oscillator: Ampere::new(150e-6),
+            vi_converter_active: Ampere::new(3.2e-3),
+            detector: Ampere::new(120e-6),
+            counter: Ampere::new(1.8e-3),
+            arctan: Ampere::new(0.9e-3),
+            watch_lcd: Ampere::new(15e-6),
+        }
+    }
+}
+
+impl Default for BlockCurrents {
+    fn default() -> Self {
+        Self::sog_estimates()
+    }
+}
+
+/// An operating schedule: which blocks are on, and for what fraction of
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    /// Number of sensors excited *simultaneously* (1 = multiplexed, the
+    /// paper's choice; 2 = both at once, the alternative).
+    pub simultaneous_sensors: u32,
+    /// Number of oscillators required (1 when multiplexed; one per
+    /// simultaneous sensor otherwise, per the paper's area/power
+    /// argument).
+    pub oscillators: u32,
+    /// Fraction of time the analogue section + counter are enabled
+    /// (duty-cycled measurement; 1.0 = always on).
+    pub measurement_duty: f64,
+    /// Fraction of time the arctan unit runs (8 cycles per fix).
+    pub arctan_duty: f64,
+}
+
+impl Schedule {
+    /// The paper's schedule: multiplexed single sensor, one oscillator,
+    /// measuring continuously alternating between sensors, arctan
+    /// essentially idle (8 cycles @ 4.19 MHz per fix).
+    pub fn paper_multiplexed() -> Self {
+        Self {
+            simultaneous_sensors: 1,
+            oscillators: 1,
+            measurement_duty: 1.0,
+            arctan_duty: 1e-3,
+        }
+    }
+
+    /// The rejected alternative: both sensors excited at once, needing
+    /// two oscillators.
+    pub fn simultaneous() -> Self {
+        Self {
+            simultaneous_sensors: 2,
+            oscillators: 2,
+            ..Self::paper_multiplexed()
+        }
+    }
+
+    /// A low-power watch mode: one compass fix per second, each taking
+    /// `measure_fraction` of the second.
+    pub fn duty_cycled(measure_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&measure_fraction),
+            "duty must be in [0, 1]"
+        );
+        Self {
+            measurement_duty: measure_fraction,
+            ..Self::paper_multiplexed()
+        }
+    }
+}
+
+/// The power model: block currents + supply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Per-block currents.
+    pub blocks: BlockCurrents,
+    /// Supply voltage.
+    pub supply: Volt,
+}
+
+impl PowerModel {
+    /// The paper's 5 V operating point.
+    pub fn at_5v() -> Self {
+        Self {
+            blocks: BlockCurrents::sog_estimates(),
+            supply: Volt::new(5.0),
+        }
+    }
+
+    /// The scaled 3.5 V operating point. Analogue bias currents are kept;
+    /// digital dynamic power scales with V² (the current scales with V).
+    pub fn at_3v5() -> Self {
+        let five = Self::at_5v();
+        let scale = 3.5 / 5.0;
+        Self {
+            blocks: BlockCurrents {
+                counter: five.blocks.counter * scale,
+                arctan: five.blocks.arctan * scale,
+                watch_lcd: five.blocks.watch_lcd * scale,
+                ..five.blocks
+            },
+            supply: Volt::new(3.5),
+        }
+    }
+
+    /// **Momentary** (peak) power while a measurement is in progress —
+    /// the quantity the paper says multiplexing reduces.
+    pub fn momentary_power(&self, s: &Schedule) -> Watt {
+        let b = &self.blocks;
+        let i = b.oscillator * s.oscillators as f64
+            + b.vi_converter_active * s.simultaneous_sensors as f64
+            + b.detector * s.simultaneous_sensors as f64
+            + b.counter
+            + b.watch_lcd;
+        self.supply * i
+    }
+
+    /// **Average** power over the schedule, including duty-cycled
+    /// enables.
+    pub fn average_power(&self, s: &Schedule) -> Watt {
+        let b = &self.blocks;
+        let measuring = b.oscillator * s.oscillators as f64
+            + b.vi_converter_active * s.simultaneous_sensors as f64
+            + b.detector * s.simultaneous_sensors as f64
+            + b.counter;
+        let i = measuring * s.measurement_duty + b.arctan * s.arctan_duty + b.watch_lcd;
+        self.supply * i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplexing_reduces_momentary_power() {
+        let pm = PowerModel::at_5v();
+        let mux = pm.momentary_power(&Schedule::paper_multiplexed());
+        let sim = pm.momentary_power(&Schedule::simultaneous());
+        assert!(
+            mux.value() < 0.65 * sim.value(),
+            "multiplexed {mux} vs simultaneous {sim}"
+        );
+    }
+
+    #[test]
+    fn duty_cycling_reduces_average_power() {
+        let pm = PowerModel::at_5v();
+        let always = pm.average_power(&Schedule::paper_multiplexed());
+        let pulsed = pm.average_power(&Schedule::duty_cycled(0.05));
+        assert!(
+            pulsed.value() < 0.12 * always.value(),
+            "always {always} vs pulsed {pulsed}"
+        );
+        // But never below the always-on watch/LCD floor.
+        let floor = pm.supply * pm.blocks.watch_lcd;
+        assert!(pulsed.value() > floor.value());
+    }
+
+    #[test]
+    fn supply_scaling_saves_power() {
+        let p5 = PowerModel::at_5v().average_power(&Schedule::paper_multiplexed());
+        let p35 = PowerModel::at_3v5().average_power(&Schedule::paper_multiplexed());
+        // At least the linear V factor, plus V² on the digital part.
+        assert!(p35.value() < 0.7 * p5.value(), "{p35} vs {p5}");
+    }
+
+    #[test]
+    fn momentary_power_magnitude_is_plausible() {
+        // 5 V × ~5.3 mA ≈ 27 mW while measuring — watch-scale electronics.
+        let p = PowerModel::at_5v().momentary_power(&Schedule::paper_multiplexed());
+        assert!(
+            (0.01..0.05).contains(&p.value()),
+            "momentary power {p} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn average_includes_arctan_duty() {
+        let pm = PowerModel::at_5v();
+        let mut s = Schedule::paper_multiplexed();
+        let base = pm.average_power(&s);
+        s.arctan_duty = 1.0;
+        let busy = pm.average_power(&s);
+        let delta = busy - base;
+        let expect = pm.supply * (pm.blocks.arctan * (1.0 - 1e-3));
+        assert!((delta.value() - expect.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn bad_duty_rejected() {
+        let _ = Schedule::duty_cycled(1.5);
+    }
+}

@@ -1,0 +1,69 @@
+//! The simulated fluxgate reproduces the textbook spectrum: odd
+//! harmonics only without a field; even harmonics proportional to the
+//! field — the physical basis of the second-harmonic method the paper
+//! compares against (§2.1).
+
+use fluxcomp_afe::frontend::{FrontEnd, FrontEndConfig};
+use fluxcomp_msim::spectrum::{even_odd_ratio, harmonic_profile};
+use fluxcomp_units::magnetics::{AmperePerMeter, MU_0};
+
+fn pickup_and_rates(h_ext: AmperePerMeter) -> (Vec<f64>, f64, f64) {
+    let mut cfg = FrontEndConfig::paper_design();
+    cfg.settle_periods = 0;
+    cfg.measure_periods = 8;
+    let n = cfg.samples_per_period;
+    let f0 = cfg.excitation.frequency().value();
+    let fe = FrontEnd::new(cfg);
+    let result = fe.run(h_ext);
+    let samples: Vec<f64> = result
+        .traces
+        .by_name("v_pickup")
+        .expect("recorded")
+        .samples()
+        .iter()
+        .map(|&(_, v)| v)
+        .collect();
+    (samples, f0 * n as f64, f0)
+}
+
+fn h(ut: f64) -> AmperePerMeter {
+    AmperePerMeter::new(ut * 1e-6 / MU_0)
+}
+
+#[test]
+fn no_field_means_odd_harmonics_only() {
+    let (samples, fs, f0) = pickup_and_rates(AmperePerMeter::ZERO);
+    let profile = harmonic_profile(&samples, fs, f0, 8);
+    let ratio = even_odd_ratio(&profile);
+    assert!(ratio < 0.01, "even/odd ratio without field: {ratio}");
+    // There IS odd-harmonic energy (the pulses exist).
+    assert!(profile[0] + profile[2] > 1e-3, "profile {profile:?}");
+}
+
+#[test]
+fn even_harmonics_grow_linearly_with_field() {
+    let second = |ut: f64| {
+        let (samples, fs, f0) = pickup_and_rates(h(ut));
+        harmonic_profile(&samples, fs, f0, 2)[1]
+    };
+    let h2_at_10 = second(10.0);
+    let h2_at_20 = second(20.0);
+    let h2_at_40 = second(40.0);
+    assert!(h2_at_10 > 1e-5, "second harmonic should appear: {h2_at_10}");
+    let r1 = h2_at_20 / h2_at_10;
+    let r2 = h2_at_40 / h2_at_20;
+    assert!((r1 - 2.0).abs() < 0.25, "10->20 ratio {r1}");
+    assert!((r2 - 2.0).abs() < 0.25, "20->40 ratio {r2}");
+}
+
+#[test]
+fn field_sign_does_not_change_even_harmonic_magnitude() {
+    let (samples_pos, fs, f0) = pickup_and_rates(h(25.0));
+    let (samples_neg, _, _) = pickup_and_rates(h(-25.0));
+    let h2_pos = harmonic_profile(&samples_pos, fs, f0, 2)[1];
+    let h2_neg = harmonic_profile(&samples_neg, fs, f0, 2)[1];
+    assert!(
+        (h2_pos - h2_neg).abs() < 0.05 * h2_pos,
+        "{h2_pos} vs {h2_neg}"
+    );
+}

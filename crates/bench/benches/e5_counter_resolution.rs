@@ -1,0 +1,71 @@
+//! E5 — claim C7: the 4.194304 MHz up/down counter.
+//!
+//! Sweeps the counter clock and measures end-to-end heading error: the
+//! paper's 2²² Hz choice is the first watch-crystal-friendly frequency
+//! whose quantisation fits inside the 1° budget (together with the
+//! 8-iteration CORDIC). Times counter integration at clock rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluxcomp_bench::banner;
+use fluxcomp_compass::evaluate::sweep_headings;
+use fluxcomp_compass::{Compass, CompassConfig};
+use fluxcomp_rtl::clock::ClockTree;
+use fluxcomp_rtl::counter::UpDownCounter;
+use fluxcomp_units::si::Hertz;
+use std::hint::black_box;
+
+fn print_experiment() {
+    banner("E5", "heading error vs counter clock frequency", "§4, claim C7");
+    eprintln!(
+        "  {:>14} {:>14} {:>12} {:>12} {:>6}",
+        "clock [Hz]", "counts/period", "max err [°]", "rms err [°]", "spec"
+    );
+    for mhz in [0.524288, 1.048576, 2.097152, 4.194304, 8.388608, 16.777216] {
+        let clock = Hertz::new(mhz * 1e6);
+        let mut cfg = CompassConfig::paper_design();
+        cfg.clock = ClockTree::with_master(clock);
+        let mut compass = Compass::new(cfg).expect("valid");
+        let stats = sweep_headings(&mut compass, 16);
+        eprintln!(
+            "  {:>14.0} {:>14.1} {:>12.3} {:>12.3} {:>6}",
+            clock.value(),
+            clock.value() / 8_000.0,
+            stats.max_error.value(),
+            stats.rms_error.value(),
+            if stats.meets_one_degree_spec() { "PASS" } else { "miss" }
+        );
+    }
+    eprintln!("\n  -> 4.194304 MHz (= 2^22, the watch-crystal multiple) meets 1°;");
+    eprintln!("     slower clocks quantise the heading out of spec.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+
+    let mut group = c.benchmark_group("e5_counter_resolution");
+
+    // Counter integration over one measurement window (4194 edges).
+    let stream: Vec<bool> = (0..4194).map(|k| (k % 524) < 250).collect();
+    group.bench_function("counter_4194_edges", |b| {
+        b.iter(|| {
+            let mut counter = UpDownCounter::paper_design();
+            black_box(counter.run(stream.iter().copied()))
+        })
+    });
+
+    // The clock-domain resampling step.
+    let detector: Vec<bool> = (0..32_768).map(|k| (k % 4096) < 2000).collect();
+    group.bench_function("sample_at_clock_1ms_window", |b| {
+        b.iter(|| {
+            black_box(fluxcomp_rtl::counter::sample_at_clock(
+                black_box(&detector),
+                1e-3,
+                Hertz::new(4_194_304.0),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E6 — claim C10: the design fits one fishbone Sea-of-Gates array;
+//! "the digital part … occupies 3 quarters fully and the analogue part
+//! 1 quarter for less than 15 %".
+//!
+//! Regenerates the occupancy report from the synthesised transistor
+//! inventory, sweeps the routing-utilisation assumption, and times the
+//! placer and the netlist builders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluxcomp_bench::banner;
+use fluxcomp_compass::chip::{build_chip, paper_chip};
+use fluxcomp_rtl::scan::{insert_scan, scan_overhead_transistors};
+use fluxcomp_rtl::synth::{full_compass_inventory, inventory_total, updown_counter};
+use fluxcomp_rtl::timing::{analyze, DelayModel};
+use fluxcomp_sog::library::AnalogMacro;
+use fluxcomp_units::si::Hertz;
+use std::hint::black_box;
+
+fn print_experiment() {
+    banner("E6", "Sea-of-Gates occupancy", "§2 / Fig. 2 / Fig. 7, claim C10");
+
+    let report = paper_chip().expect("fits");
+    eprintln!(
+        "  digital inventory: {} transistors ({} blocks)",
+        report.digital_transistors,
+        full_compass_inventory().len()
+    );
+    eprintln!(
+        "  at {:.0} % routing utilisation: digital fills {:.2} quarters (paper: 3)",
+        report.utilization * 100.0,
+        report.digital_quarters
+    );
+    eprintln!(
+        "  analogue section: {:.1} % of one quarter (paper: < 15 %)",
+        report.analog_occupancy * 100.0
+    );
+    let analog_sites: u32 = AnalogMacro::paper_analog_section()
+        .iter()
+        .map(|m| m.total_sites())
+        .sum();
+    eprintln!("  analogue sites: {analog_sites} (incl. the Fig. 7 10 pF capacitor's shadow)");
+
+    // Implementation-flow checks on the synthesised blocks.
+    let (counter_nl, _, _) = updown_counter(16);
+    let timing = analyze(&counter_nl, &DelayModel::sog_1um());
+    eprintln!(
+        "\n  timing: 16-bit counter critical path {:.1} ns -> fmax {:.1} MHz ({} at 4.194304 MHz)",
+        timing.critical_path_ns,
+        timing.fmax.value() / 1e6,
+        if timing.meets(Hertz::new(4_194_304.0)) { "CLOSES" } else { "FAILS" }
+    );
+    let stage = analyze(
+        &fluxcomp_rtl::synth::cordic_step(24, 3).0,
+        &DelayModel::sog_1um(),
+    );
+    eprintln!(
+        "  timing: one CORDIC micro-rotation {:.1} ns — iterating 8 cycles at 4.19 MHz is the",
+        stage.critical_path_ns
+    );
+    eprintln!("          right architecture (the unrolled kernel would not close timing)");
+    let flops = counter_nl.stats().flip_flops;
+    let scanned = insert_scan(counter_nl);
+    eprintln!(
+        "  DFT: scan insertion on the counter: +{} transistors ({} flops), chain length {}",
+        scan_overhead_transistors(flops),
+        flops,
+        scanned.len()
+    );
+
+    eprintln!("\n  utilisation sweep:");
+    eprintln!("  {:>12} {:>18} {:>8}", "utilisation", "digital quarters", "fits?");
+    for util in [0.50, 0.40, 0.30, 0.25, 0.22, 0.15, 0.10] {
+        match build_chip(util) {
+            Ok(r) => eprintln!("  {util:>12.2} {:>18.2} {:>8}", r.digital_quarters, "yes"),
+            Err(_) => eprintln!("  {util:>12.2} {:>18} {:>8}", "-", "NO"),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+
+    let mut group = c.benchmark_group("e6_sog_occupancy");
+
+    group.bench_function("full_chip_floorplan", |b| {
+        b.iter(|| black_box(build_chip(black_box(0.30)).unwrap().digital_quarters))
+    });
+
+    group.bench_function("synthesize_inventory", |b| {
+        b.iter(|| black_box(inventory_total(&full_compass_inventory())))
+    });
+
+    group.bench_function("synthesize_counter_16bit", |b| {
+        b.iter(|| {
+            let (nl, _, _) = updown_counter(16);
+            black_box(nl.stats().transistors)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

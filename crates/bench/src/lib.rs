@@ -1,0 +1,40 @@
+//! # fluxcomp-bench
+//!
+//! Shared helpers for the benchmark harness. Each bench target under
+//! `benches/` regenerates one experiment from `DESIGN.md` (E1..E10):
+//! it first **prints the table/series the paper's figure or claim
+//! corresponds to** (so `cargo bench` output doubles as the experiment
+//! log recorded in `EXPERIMENTS.md`) and then times the computational
+//! kernel behind it with Criterion.
+
+use fluxcomp_units::magnetics::{AmperePerMeter, Tesla, MU_0};
+
+/// Converts a flux density in microtesla to the field strength the
+/// sensor models consume.
+pub fn microtesla_to_h(ut: f64) -> AmperePerMeter {
+    AmperePerMeter::new(Tesla::from_microtesla(ut).value() / MU_0)
+}
+
+/// Prints an experiment banner so the bench log is self-describing.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    eprintln!("\n================================================================");
+    eprintln!("{id}: {title}");
+    eprintln!("paper reference: {paper_ref}");
+    eprintln!("================================================================");
+}
+
+/// Prints one row of a two-column numeric series.
+pub fn row2(label: &str, a: f64, b: f64) {
+    eprintln!("  {label:<28} {a:>12.4} {b:>12.4}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microtesla_conversion() {
+        let h = microtesla_to_h(15.0);
+        assert!((h.value() - 11.936_62).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,183 @@
+//! The chip-level mapping (experiment E6, paper §2 / Fig. 2).
+//!
+//! Bridges the `rtl` crate's synthesised transistor inventory and the
+//! `sog` crate's array model: converts every digital block to committed
+//! sites through the routing-utilisation factor, splits blocks larger
+//! than a quarter (a synthesis flow would partition them the same way),
+//! places everything, and reports the quantities the paper claims:
+//! digital quarters filled, analogue quarter occupancy, and the fit into
+//! the 200k-transistor array.
+
+use fluxcomp_rtl::synth::{full_compass_inventory, inventory_total, BlockInventory};
+use fluxcomp_sog::fabric::PowerDomain;
+use fluxcomp_sog::floorplan::{Block, Floorplan, PlaceBlockError, DEFAULT_UTILIZATION};
+use fluxcomp_sog::library::AnalogMacro;
+
+/// The assembled chip report.
+#[derive(Debug, Clone)]
+pub struct ChipReport {
+    /// The populated floorplan.
+    pub floorplan: Floorplan,
+    /// Digital transistor total (from the synthesised inventory).
+    pub digital_transistors: u32,
+    /// Equivalent quarters the digital section fills.
+    pub digital_quarters: f64,
+    /// Occupancy of the analogue quarter (fraction).
+    pub analog_occupancy: f64,
+    /// The routing utilisation used for the mapping.
+    pub utilization: f64,
+}
+
+impl ChipReport {
+    /// Renders the report, including the per-quarter floorplan.
+    pub fn render(&self) -> String {
+        format!(
+            "Integrated compass on the fishbone SoG (utilization {:.0} %)\n\
+             digital: {} transistors -> {:.2} quarters (paper: 3 quarters)\n\
+             analog:  {:.1} % of one quarter (paper: < 15 %)\n\n{}",
+            self.utilization * 100.0,
+            self.digital_transistors,
+            self.digital_quarters,
+            self.analog_occupancy * 100.0,
+            self.floorplan.report()
+        )
+    }
+}
+
+/// Splits an inventory entry into quarter-sized placeable chunks.
+fn to_blocks(entry: &BlockInventory, utilization: f64, quarter_sites: u32) -> Vec<Block> {
+    let block = Block::from_transistors(
+        entry.name.clone(),
+        entry.transistors,
+        utilization,
+        PowerDomain::Digital,
+    );
+    if block.sites <= quarter_sites {
+        return vec![block];
+    }
+    let parts = block.sites.div_ceil(quarter_sites);
+    let per_part = entry.transistors.div_ceil(parts);
+    (0..parts)
+        .map(|k| {
+            let t = per_part.min(entry.transistors - k * per_part);
+            Block::from_transistors(
+                format!("{}_part{}", entry.name, k),
+                t,
+                utilization,
+                PowerDomain::Digital,
+            )
+        })
+        .collect()
+}
+
+/// Builds the full-chip floorplan at a given routing utilisation.
+///
+/// # Errors
+///
+/// Returns a [`PlaceBlockError`] if the design no longer fits the array
+/// (it does at the default utilisation; lowering it far enough
+/// reproduces the "array full" failure mode).
+pub fn build_chip(utilization: f64) -> Result<ChipReport, PlaceBlockError> {
+    let mut fp = Floorplan::fishbone();
+    let quarter_sites = fp.array().quarters()[0].capacity_sites;
+    let inventory = full_compass_inventory();
+    let digital_transistors = inventory_total(&inventory);
+
+    // Analogue first: it claims the last quarter, mirroring the paper's
+    // fixed supply partition.
+    for m in AnalogMacro::paper_analog_section() {
+        fp.place(m.to_block())?;
+    }
+    for entry in &inventory {
+        for block in to_blocks(entry, utilization, quarter_sites) {
+            fp.place(block)?;
+        }
+    }
+    let digital_quarters = fp.quarters_filled(PowerDomain::Digital);
+    let analog_occupancy = fp.analog_quarter_occupancy();
+    Ok(ChipReport {
+        floorplan: fp,
+        digital_transistors,
+        digital_quarters,
+        analog_occupancy,
+        utilization,
+    })
+}
+
+/// The default chip report at the standard utilisation.
+///
+/// # Errors
+///
+/// See [`build_chip`].
+pub fn paper_chip() -> Result<ChipReport, PlaceBlockError> {
+    build_chip(DEFAULT_UTILIZATION)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_fits_the_array() {
+        let report = paper_chip().expect("the compass fits the fishbone array");
+        // Paper shape: the digital section dominates by more than an
+        // order of magnitude and spans multiple quarters; the analogue
+        // section stays below 15 % of one quarter.
+        assert!(
+            report.digital_quarters > 1.5,
+            "digital fills {:.2} quarters",
+            report.digital_quarters
+        );
+        assert!(report.digital_quarters <= 3.0);
+        assert!(
+            report.analog_occupancy < 0.15,
+            "analog occupancy {:.3}",
+            report.analog_occupancy
+        );
+        assert!(report.analog_occupancy > 0.05);
+    }
+
+    #[test]
+    fn digital_to_analog_ratio_matches_paper_shape() {
+        let report = paper_chip().unwrap();
+        // Paper: 3 full quarters vs < 0.15 of one → ratio ≥ 20.
+        let ratio = report.digital_quarters / report.analog_occupancy;
+        assert!(ratio > 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lower_utilization_needs_more_quarters() {
+        let a = build_chip(0.30).unwrap();
+        let b = build_chip(0.25).unwrap();
+        assert!(b.digital_quarters > a.digital_quarters);
+    }
+
+    #[test]
+    fn hopeless_utilization_fails_to_fit() {
+        // At 5 % utilisation three quarters cannot hold the digital
+        // section — the placer must say so rather than lie.
+        let result = build_chip(0.05);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn oversized_blocks_are_split() {
+        let report = paper_chip().unwrap();
+        let parts = report
+            .floorplan
+            .placements()
+            .iter()
+            .filter(|p| p.block.name.contains("_part"))
+            .count();
+        assert!(parts >= 2, "the CORDIC datapath should be partitioned");
+    }
+
+    #[test]
+    fn render_mentions_key_figures() {
+        let report = paper_chip().unwrap();
+        let text = report.render();
+        assert!(text.contains("quarters"));
+        assert!(text.contains("analog"));
+        assert!(text.contains("cordic"));
+    }
+}

@@ -1,0 +1,125 @@
+//! System configuration and construction errors.
+
+use fluxcomp_afe::frontend::FrontEndConfig;
+use fluxcomp_fluxgate::earth::{EarthField, Location};
+use fluxcomp_fluxgate::pair::SensorPairParams;
+use fluxcomp_rtl::clock::ClockTree;
+use std::error::Error;
+use std::fmt;
+
+/// Full configuration of the integrated compass.
+#[derive(Debug, Clone)]
+pub struct CompassConfig {
+    /// The analogue front-end channel (shared by both sensors via the
+    /// multiplexer).
+    pub frontend: FrontEndConfig,
+    /// The orthogonal sensor pair.
+    pub pair: SensorPairParams,
+    /// The digital clock tree (counter clock).
+    pub clock: ClockTree,
+    /// CORDIC iterations (8 in the paper).
+    pub cordic_iterations: u32,
+    /// The magnetic environment the compass operates in.
+    pub field: EarthField,
+}
+
+impl CompassConfig {
+    /// The paper's design point: paper front-end, ideal pair, 4.194304
+    /// MHz clock, 8 CORDIC iterations, a purely horizontal 15 µT field
+    /// (≈ the horizontal component at the authors' latitude), and 8
+    /// measurement periods per axis for comfortable counter resolution.
+    pub fn paper_design() -> Self {
+        let mut frontend = FrontEndConfig::paper_design();
+        frontend.measure_periods = 8;
+        Self {
+            frontend,
+            pair: SensorPairParams::ideal(),
+            clock: ClockTree::paper(),
+            cordic_iterations: 8,
+            field: EarthField::horizontal(
+                fluxcomp_units::Tesla::from_microtesla(15.0),
+            ),
+        }
+    }
+
+    /// The paper design relocated to one of the predefined locations
+    /// (experiment E4's world tour).
+    pub fn at_location(location: Location) -> Self {
+        Self {
+            field: EarthField::at(location),
+            ..Self::paper_design()
+        }
+    }
+}
+
+impl Default for CompassConfig {
+    fn default() -> Self {
+        Self::paper_design()
+    }
+}
+
+/// Errors constructing a [`crate::Compass`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// CORDIC iteration count outside the ROM's 1..=16 range.
+    BadCordicIterations {
+        /// The rejected value.
+        got: u32,
+    },
+    /// The front-end sampling grid is coarser than the counter clock —
+    /// the zero-order hold would alias the detector stream.
+    SamplingTooCoarse {
+        /// Effective analogue sample rate (Hz).
+        sample_rate: f64,
+        /// Counter clock (Hz).
+        clock: f64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadCordicIterations { got } => {
+                write!(f, "cordic iterations must be in 1..=16, got {got}")
+            }
+            BuildError::SamplingTooCoarse { sample_rate, clock } => write!(
+                f,
+                "front-end sample rate {sample_rate:.0} Hz below counter clock {clock:.0} Hz"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_values() {
+        let c = CompassConfig::paper_design();
+        assert_eq!(c.cordic_iterations, 8);
+        assert!((c.clock.master().value() - 4_194_304.0).abs() < 1e-6);
+        assert_eq!(c.frontend.measure_periods, 8);
+        assert!((c.field.horizontal_magnitude().as_microtesla() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn location_config_changes_field_only() {
+        let c = CompassConfig::at_location(Location::SouthPole);
+        assert!((c.field.total().as_microtesla() - 65.0).abs() < 1e-9);
+        assert_eq!(c.cordic_iterations, 8);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = BuildError::BadCordicIterations { got: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = BuildError::SamplingTooCoarse {
+            sample_rate: 1e6,
+            clock: 4e6,
+        };
+        assert!(e.to_string().contains("4194304") || e.to_string().contains("4000000"));
+    }
+}

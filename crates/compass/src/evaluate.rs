@@ -1,0 +1,123 @@
+//! Accuracy evaluation — the harness behind the paper's headline
+//! "accuracy of one degree" (C1) and the field-magnitude insensitivity
+//! claim (C9).
+
+use crate::system::Compass;
+use fluxcomp_units::angle::Degrees;
+
+/// Error statistics over a heading sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyStats {
+    /// Number of headings evaluated.
+    pub samples: usize,
+    /// Worst-case absolute angular error.
+    pub max_error: Degrees,
+    /// Mean absolute angular error.
+    pub mean_error: Degrees,
+    /// Root-mean-square angular error.
+    pub rms_error: Degrees,
+    /// Mean signed error (systematic bias).
+    pub bias: Degrees,
+}
+
+impl AccuracyStats {
+    /// `true` when the worst case meets the paper's 1° specification.
+    pub fn meets_one_degree_spec(&self) -> bool {
+        self.max_error.value() <= 1.0
+    }
+}
+
+/// Evaluates the compass over `n` equally spaced headings in `[0, 360)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sweep_headings(compass: &mut Compass, n: usize) -> AccuracyStats {
+    assert!(n > 0, "need at least one heading");
+    let mut max_err = 0.0f64;
+    let mut sum_abs = 0.0;
+    let mut sum_sq = 0.0;
+    let mut sum_signed = 0.0;
+    for k in 0..n {
+        let truth = Degrees::new(k as f64 * 360.0 / n as f64);
+        let reading = compass.measure_heading(truth);
+        let signed = reading.heading.signed_error_from(truth).value();
+        let abs = signed.abs();
+        max_err = max_err.max(abs);
+        sum_abs += abs;
+        sum_sq += signed * signed;
+        sum_signed += signed;
+    }
+    AccuracyStats {
+        samples: n,
+        max_error: Degrees::new(max_err),
+        mean_error: Degrees::new(sum_abs / n as f64),
+        rms_error: Degrees::new((sum_sq / n as f64).sqrt()),
+        bias: Degrees::new(sum_signed / n as f64),
+    }
+}
+
+/// Evaluates a single heading `repeats` times (for noise studies) and
+/// returns the per-trial errors in degrees.
+pub fn repeat_heading(compass: &mut Compass, heading: Degrees, repeats: usize) -> Vec<f64> {
+    (0..repeats)
+        .map(|_| {
+            compass
+                .measure_heading(heading)
+                .heading
+                .signed_error_from(heading)
+                .value()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompassConfig;
+
+    #[test]
+    fn paper_design_meets_one_degree_over_sweep() {
+        // The headline reproduction: a 24-point sweep of the full
+        // circle through the complete mixed-signal pipeline.
+        let mut c = Compass::new(CompassConfig::paper_design()).unwrap();
+        let stats = sweep_headings(&mut c, 24);
+        assert!(
+            stats.meets_one_degree_spec(),
+            "max error {} exceeds 1°",
+            stats.max_error
+        );
+        assert!(stats.mean_error <= stats.max_error);
+        assert!(stats.rms_error <= stats.max_error);
+        assert!(stats.bias.value().abs() <= stats.mean_error.value() + 1e-12);
+        assert_eq!(stats.samples, 24);
+    }
+
+    #[test]
+    fn fewer_cordic_iterations_lose_the_spec() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.cordic_iterations = 3;
+        let mut c = Compass::new(cfg).unwrap();
+        let stats = sweep_headings(&mut c, 16);
+        assert!(
+            !stats.meets_one_degree_spec(),
+            "3 iterations should miss 1°: max {}",
+            stats.max_error
+        );
+    }
+
+    #[test]
+    fn repeat_heading_is_deterministic_without_noise() {
+        let mut c = Compass::new(CompassConfig::paper_design()).unwrap();
+        let errs = repeat_heading(&mut c, Degrees::new(77.0), 3);
+        assert_eq!(errs.len(), 3);
+        assert!(errs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one heading")]
+    fn empty_sweep_rejected() {
+        let mut c = Compass::new(CompassConfig::paper_design()).unwrap();
+        let _ = sweep_headings(&mut c, 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The integrated compass system — the paper's contribution (Fig. 1).
+//!
+//! [`Compass`] wires the whole signal chain together and runs one compass
+//! fix exactly the way the silicon would:
+//!
+//! 1. the **sequencer** multiplexes the X sensor onto the single
+//!    excitation channel; the analogue front-end runs for the configured
+//!    number of 8 kHz periods;
+//! 2. the **pulse-position detector**'s digital output is sampled at the
+//!    4.194304 MHz counter clock and integrated by the **up/down
+//!    counter** into the integer `x`;
+//! 3. the same happens for the Y sensor (`y`);
+//! 4. the **CORDIC** computes `atan` of the pair in 8 cycles and the
+//!    heading is latched to the display driver.
+//!
+//! Every stage is the actual substrate model — transient sensor physics,
+//! behavioural analogue blocks, cycle-level digital — so the end-to-end
+//! accuracy measured here *is* the reproduction of the paper's
+//! "accuracy of one degree" claim.
+
+use crate::config::{BuildError, CompassConfig};
+use fluxcomp_afe::frontend::{FrontEnd, FrontEndResult};
+use fluxcomp_fluxgate::pair::{Axis, SensorPair};
+use fluxcomp_rtl::cordic::{ComputeHeadingError, CordicArctan};
+use fluxcomp_rtl::counter::{sample_at_clock, UpDownCounter};
+use fluxcomp_rtl::lcd::DisplayDriver;
+use fluxcomp_rtl::sequencer::{Sequencer, SequencerState};
+use fluxcomp_units::angle::Degrees;
+use fluxcomp_units::magnetics::AmperePerMeter;
+
+/// The result of measuring one axis.
+#[derive(Debug, Clone)]
+pub struct AxisMeasurement {
+    /// Which axis.
+    pub axis: Axis,
+    /// Detector duty cycle over the measurement window.
+    pub duty: f64,
+    /// The up/down counter's integer output.
+    pub count: i64,
+    /// `true` if the V-I converter clipped.
+    pub clipped: bool,
+}
+
+/// One complete compass fix.
+#[derive(Debug, Clone)]
+pub struct Reading {
+    /// The computed heading, `[0, 360)`.
+    pub heading: Degrees,
+    /// The X-axis measurement.
+    pub x: AxisMeasurement,
+    /// The Y-axis measurement.
+    pub y: AxisMeasurement,
+    /// CORDIC cycles spent (8 in the paper).
+    pub cordic_cycles: u32,
+}
+
+/// The integrated compass.
+#[derive(Debug, Clone)]
+pub struct Compass {
+    config: CompassConfig,
+    frontend: FrontEnd,
+    pair: SensorPair,
+    cordic: CordicArctan,
+    sequencer: Sequencer,
+    display: DisplayDriver,
+}
+
+impl Compass {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::BadCordicIterations`] for an iteration count the
+    ///   atan ROM cannot hold;
+    /// * [`BuildError::SamplingTooCoarse`] when the analogue grid is
+    ///   slower than the counter clock.
+    pub fn new(config: CompassConfig) -> Result<Self, BuildError> {
+        if !(1..=16).contains(&config.cordic_iterations) {
+            return Err(BuildError::BadCordicIterations {
+                got: config.cordic_iterations,
+            });
+        }
+        let sample_rate = config.frontend.samples_per_period as f64
+            * config.frontend.excitation.frequency().value();
+        let clock = config.clock.master().value();
+        if sample_rate < clock {
+            return Err(BuildError::SamplingTooCoarse { sample_rate, clock });
+        }
+        let mut fe_config = config.frontend.clone();
+        fe_config.sensor = config.pair.element;
+        Ok(Self {
+            frontend: FrontEnd::new(fe_config),
+            pair: SensorPair::new(config.pair),
+            cordic: CordicArctan::new(config.cordic_iterations),
+            sequencer: Sequencer::new(config.frontend.measure_periods as u32, 8),
+            display: DisplayDriver::new(),
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CompassConfig {
+        &self.config
+    }
+
+    /// The display driver (latched with the last heading after each fix).
+    pub fn display(&self) -> &DisplayDriver {
+        &self.display
+    }
+
+    /// Mutable display access (mode switching in the watch example).
+    pub fn display_mut(&mut self) -> &mut DisplayDriver {
+        &mut self.display
+    }
+
+    /// The sequencer (for power-schedule inspection).
+    pub fn sequencer(&self) -> &Sequencer {
+        &self.sequencer
+    }
+
+    /// The peak excitation field of the front-end — the `H_peak` of the
+    /// duty-cycle equation.
+    pub fn peak_excitation_field(&self) -> AmperePerMeter {
+        self.frontend.peak_excitation_field()
+    }
+
+    /// Measures a single axis with the platform at `true_heading`:
+    /// transient front-end run + counter integration.
+    pub fn measure_axis(&mut self, axis: Axis, true_heading: Degrees) -> AxisMeasurement {
+        let h_ext = self.pair.axial_field(axis, &self.config.field, true_heading);
+        let result: FrontEndResult = self.frontend.run(h_ext);
+        let window = self.config.frontend.measure_periods as f64
+            / self.config.frontend.excitation.frequency().value();
+        let stream = sample_at_clock(
+            &result.detector_samples,
+            window,
+            self.config.clock.master(),
+        );
+        let mut counter = UpDownCounter::paper_design();
+        let count = counter.run(stream);
+        AxisMeasurement {
+            axis,
+            duty: result.duty,
+            count,
+            clipped: result.clipped,
+        }
+    }
+
+    /// Runs one full multiplexed fix with the platform at `true_heading`
+    /// and latches the result onto the display.
+    ///
+    /// The duty-cycle equation is `duty = 1/2 − H/(2·H_peak)`, so the
+    /// counter output is **−count ∝ H**; the sign flip below is the
+    /// "and vice versa" wiring the paper mentions for the detector
+    /// polarity.
+    pub fn measure_heading(&mut self, true_heading: Degrees) -> Reading {
+        self.sequencer.start_fix();
+        let x = self.measure_axis(Axis::X, true_heading);
+        for _ in 0..self.sequencer.periods_per_axis() {
+            self.sequencer.advance();
+        }
+        let y = self.measure_axis(Axis::Y, true_heading);
+        for _ in 0..self.sequencer.periods_per_axis() {
+            self.sequencer.advance();
+        }
+        debug_assert_eq!(self.sequencer.state(), SequencerState::Compute);
+
+        let (heading, cycles) = match self.cordic.heading(-x.count, -y.count) {
+            Ok(r) => (r.heading, r.cycles),
+            // A fully null field (shielded sensor): hold 0° like the
+            // hardware's result register would.
+            Err(ComputeHeadingError::ZeroVector | ComputeHeadingError::Overflow) => {
+                (Degrees::ZERO, self.cordic.iterations())
+            }
+        };
+        for _ in 0..8 {
+            self.sequencer.advance();
+        }
+        self.display.latch_heading(heading);
+        Reading {
+            heading,
+            x,
+            y,
+            cordic_cycles: cycles,
+        }
+    }
+
+    /// The floating-point reference heading for the current field and a
+    /// true heading — the oracle the digital pipeline is compared
+    /// against.
+    pub fn reference_heading(&self, true_heading: Degrees) -> Degrees {
+        let (hx, hy) = self.pair.axial_fields(&self.config.field, true_heading);
+        Degrees::atan2(hy.value(), hx.value()).normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompassConfig;
+
+    fn compass() -> Compass {
+        Compass::new(CompassConfig::paper_design()).expect("valid config")
+    }
+
+    #[test]
+    fn cardinal_headings_within_one_degree() {
+        let mut c = compass();
+        for deg in [0.0, 90.0, 180.0, 270.0] {
+            let r = c.measure_heading(Degrees::new(deg));
+            let err = r.heading.angular_distance(Degrees::new(deg)).value();
+            assert!(err <= 1.0, "heading {deg}: got {}, err {err}", r.heading);
+            assert_eq!(r.cordic_cycles, 8);
+        }
+    }
+
+    #[test]
+    fn oblique_headings_within_one_degree() {
+        let mut c = compass();
+        for deg in [33.0, 123.0, 201.5, 287.25, 359.0] {
+            let r = c.measure_heading(Degrees::new(deg));
+            let err = r.heading.angular_distance(Degrees::new(deg)).value();
+            assert!(err <= 1.0, "heading {deg}: got {}, err {err}", r.heading);
+        }
+    }
+
+    #[test]
+    fn counts_have_expected_magnitude_and_sign() {
+        let mut c = compass();
+        // North: full field on X, none on Y.
+        let r = c.measure_heading(Degrees::new(0.0));
+        assert!(-r.x.count > 0, "x count should be positive: {}", r.x.count);
+        assert!(r.y.count.abs() < 6, "y count should be ≈0: {}", r.y.count);
+        // Expected |x|: f_clk·T_window·H/H_peak ≈ 4194·(11.94/240) ≈ 209.
+        let expect = 4194.0 * (11.936_621 / 240.0);
+        assert!(
+            ((-r.x.count) as f64 - expect).abs() < 12.0,
+            "x = {} vs expected {expect}",
+            -r.x.count
+        );
+        assert!(!r.x.clipped && !r.y.clipped);
+    }
+
+    #[test]
+    fn display_latches_fix() {
+        let mut c = compass();
+        c.measure_heading(Degrees::new(90.0));
+        let frame = c.display().frame();
+        // "090 E" on the LCD.
+        use fluxcomp_rtl::lcd::SegmentPattern;
+        assert_eq!(frame.digits[0], SegmentPattern::digit(0));
+        assert_eq!(frame.digits[1], SegmentPattern::digit(9));
+        assert_eq!(frame.digits[2], SegmentPattern::digit(0));
+    }
+
+    #[test]
+    fn zero_field_reads_zero_heading_without_panic() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.field = fluxcomp_fluxgate::earth::EarthField::horizontal(
+            fluxcomp_units::Tesla::from_microtesla(0.0),
+        );
+        let mut c = Compass::new(cfg).unwrap();
+        let r = c.measure_heading(Degrees::new(45.0));
+        assert_eq!(r.heading, Degrees::ZERO);
+    }
+
+    #[test]
+    fn reference_heading_matches_truth_for_ideal_pair() {
+        let c = compass();
+        for deg in [0.0, 45.0, 123.0, 359.5] {
+            let reference = c.reference_heading(Degrees::new(deg));
+            assert!(reference.angular_distance(Degrees::new(deg)).value() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.cordic_iterations = 0;
+        assert_eq!(
+            Compass::new(cfg).unwrap_err(),
+            BuildError::BadCordicIterations { got: 0 }
+        );
+        let mut cfg = CompassConfig::paper_design();
+        cfg.frontend.samples_per_period = 16; // 128 kHz ≪ 4.19 MHz
+        assert!(matches!(
+            Compass::new(cfg).unwrap_err(),
+            BuildError::SamplingTooCoarse { .. }
+        ));
+    }
+
+    #[test]
+    fn sequencer_walks_through_fix() {
+        let mut c = compass();
+        c.measure_heading(Degrees::new(10.0));
+        assert_eq!(c.sequencer().state(), SequencerState::Display);
+        assert_eq!(c.sequencer().fixes(), 1);
+        c.measure_heading(Degrees::new(20.0));
+        assert_eq!(c.sequencer().fixes(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Shape anisotropy / demagnetisation of the micro-machined core.
+//!
+//! Why could the paper "adapt" `H_K` at all? Because a thin-film
+//! fluxgate core's effective saturation field is dominated by **shape**:
+//! the demagnetising field `H_d = −N_d·M` of a finite core opposes the
+//! magnetisation, so the apparent (externally measured) anisotropy is
+//!
+//! ```text
+//! H_K,eff ≈ H_K,material + N_d·M_s
+//! ```
+//!
+//! Making the core longer and thinner reduces the length-direction
+//! demagnetising factor `N_d` and with it the drive field needed — the
+//! "obtainable goal for a new fluxgate sensor" the paper mentions is a
+//! geometry change. This module implements the standard prolate-
+//! ellipsoid approximation for `N_d` and derives the effective core
+//! model from geometry + material.
+
+use crate::core_model::CoreModel;
+use fluxcomp_units::magnetics::{AmperePerMeter, Tesla, MU_0};
+
+/// The in-plane geometry of a thin-film core strip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreGeometry {
+    /// Length along the sensitive axis, metres.
+    pub length: f64,
+    /// Width, metres.
+    pub width: f64,
+    /// Film thickness, metres.
+    pub thickness: f64,
+}
+
+impl CoreGeometry {
+    /// The \[Kaw95\]-class element: a 1 mm × 40 µm × 1 µm electroplated
+    /// permalloy strip — its shape term reproduces the measured
+    /// `H_K ≈ 1 Oe ≈ 80 A/m`.
+    pub fn kaw95() -> Self {
+        Self {
+            length: 1.0e-3,
+            width: 40e-6,
+            thickness: 1e-6,
+        }
+    }
+
+    /// The next-generation strip: the same film, 1.5× longer — which
+    /// halves the shape anisotropy to the paper's adapted `H_K ≈
+    /// 40 A/m`. This is the concrete content of "still an obtainable
+    /// goal for a new fluxgate sensor".
+    pub fn adapted() -> Self {
+        Self {
+            length: 1.5e-3,
+            width: 40e-6,
+            thickness: 1e-6,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `length ≥ width ≥ thickness > 0` (the prolate
+    /// approximation's axis ordering).
+    pub fn validate(&self) {
+        assert!(self.thickness > 0.0, "thickness must be positive");
+        assert!(self.width >= self.thickness, "width must be ≥ thickness");
+        assert!(self.length >= self.width, "length must be ≥ width");
+    }
+
+    /// Aspect ratio `m = length / √(width·thickness)` of the equivalent
+    /// prolate ellipsoid.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.validate();
+        self.length / (self.width * self.thickness).sqrt()
+    }
+
+    /// The demagnetising factor along the length, prolate-ellipsoid
+    /// approximation (Osborn):
+    ///
+    /// ```text
+    /// N_d = (ln(2m) − 1) / m²    for m ≫ 1
+    /// ```
+    pub fn demag_factor(&self) -> f64 {
+        let m = self.aspect_ratio();
+        assert!(m > 2.0, "prolate approximation needs an elongated core");
+        ((2.0 * m).ln() - 1.0) / (m * m)
+    }
+
+    /// The effective anisotropy field of a film with material anisotropy
+    /// `hk_material` and saturation `bsat`: the shape term `N_d·M_s`
+    /// adds to the material term.
+    pub fn effective_hk(&self, hk_material: AmperePerMeter, bsat: Tesla) -> AmperePerMeter {
+        let ms = bsat.value() / MU_0;
+        AmperePerMeter::new(hk_material.value() + self.demag_factor() * ms)
+    }
+
+    /// Derives the behavioural core model from geometry + material.
+    pub fn core_model(&self, hk_material: AmperePerMeter, bsat: Tesla) -> CoreModel {
+        CoreModel::anhysteretic(bsat, self.effective_hk(hk_material, bsat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BSAT: Tesla = Tesla::new(0.5);
+    /// Soft-permalloy material anisotropy: a few A/m.
+    const HK_MATERIAL: AmperePerMeter = AmperePerMeter::new(5.0);
+
+    #[test]
+    fn demag_factor_falls_with_aspect_ratio() {
+        let fat = CoreGeometry::kaw95();
+        let thin = CoreGeometry::adapted();
+        assert!(thin.aspect_ratio() > fat.aspect_ratio());
+        assert!(thin.demag_factor() < fat.demag_factor());
+    }
+
+    #[test]
+    fn kaw95_geometry_reproduces_the_1oe_scale() {
+        // The measured element's H_K ≈ 1 Oe ≈ 80 A/m: the shape term of
+        // the 1 mm × 40 µm × 1 µm strip must land on it.
+        let hk = CoreGeometry::kaw95().effective_hk(HK_MATERIAL, BSAT);
+        assert!(
+            (60.0..110.0).contains(&hk.value()),
+            "kaw95 H_K,eff = {} A/m (expect ≈80 = 1 Oe)",
+            hk.value()
+        );
+    }
+
+    #[test]
+    fn adapted_geometry_lands_near_the_papers_model() {
+        // The adapted strip should realise roughly the 40 A/m the
+        // reproduction's sensor model uses — "still an obtainable goal".
+        let hk = CoreGeometry::adapted().effective_hk(HK_MATERIAL, BSAT);
+        assert!(
+            (30.0..55.0).contains(&hk.value()),
+            "adapted H_K,eff = {} A/m (expect ≈40, the reproduction's model)",
+            hk.value()
+        );
+    }
+
+    #[test]
+    fn shape_dominates_material() {
+        let hk = CoreGeometry::kaw95().effective_hk(HK_MATERIAL, BSAT);
+        assert!(hk.value() > 5.0 * HK_MATERIAL.value());
+    }
+
+    #[test]
+    fn derived_core_model_is_usable() {
+        let model = CoreGeometry::adapted().core_model(HK_MATERIAL, BSAT);
+        assert_eq!(model.bsat(), BSAT);
+        assert!(model.hk().value() > HK_MATERIAL.value());
+        // And it saturates like any core model.
+        assert!(model.is_saturated(model.hk() * 5.0, crate::core_model::Sweep::Up));
+    }
+
+    #[test]
+    fn longer_core_needs_less_drive() {
+        let short = CoreGeometry {
+            length: 0.5e-3,
+            ..CoreGeometry::adapted()
+        };
+        let long = CoreGeometry {
+            length: 2.0e-3,
+            ..CoreGeometry::adapted()
+        };
+        assert!(
+            long.effective_hk(HK_MATERIAL, BSAT) < short.effective_hk(HK_MATERIAL, BSAT)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be ≥ width")]
+    fn bad_axis_order_rejected() {
+        let g = CoreGeometry {
+            length: 10e-6,
+            width: 200e-6,
+            thickness: 2e-6,
+        };
+        g.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "elongated")]
+    fn stubby_core_rejected() {
+        let g = CoreGeometry {
+            length: 210e-6,
+            width: 200e-6,
+            thickness: 100e-6,
+        };
+        let _ = g.demag_factor();
+    }
+}

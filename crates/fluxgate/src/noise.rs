@@ -1,0 +1,139 @@
+//! Seeded noise sources.
+//!
+//! The pulse-position detector's robustness (comparator threshold +
+//! hysteresis ablations in experiment E1) is studied under additive
+//! Gaussian noise on the pickup voltage. Everything is seeded so that
+//! every experiment in `EXPERIMENTS.md` is bit-reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded white Gaussian noise source (Box-Muller transform).
+///
+/// # Example
+///
+/// ```
+/// use fluxcomp_fluxgate::noise::GaussianNoise;
+///
+/// let mut n = GaussianNoise::new(1.0, 42);
+/// let samples: Vec<f64> = (0..10_000).map(|_| n.sample()).collect();
+/// let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+/// assert!(mean.abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    std_dev: f64,
+    rng: StdRng,
+    /// Box-Muller produces pairs; cache the spare value.
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a source with standard deviation `std_dev`, seeded with
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn new(std_dev: f64, seed: u64) -> Self {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "standard deviation must be finite and non-negative"
+        );
+        Self {
+            std_dev,
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// A source that always returns zero (noise disabled).
+    pub fn silent() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample `~ N(0, std_dev²)`.
+    pub fn sample(&mut self) -> f64 {
+        if self.std_dev == 0.0 {
+            return 0.0;
+        }
+        if let Some(z) = self.spare.take() {
+            return z * self.std_dev;
+        }
+        // Box-Muller: two uniforms → two independent standard normals.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * self.std_dev
+    }
+
+    /// Fills `buf` with independent samples.
+    pub fn fill(&mut self, buf: &mut [f64]) {
+        for v in buf {
+            *v = self.sample();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = GaussianNoise::new(2.0, 7);
+        let mut b = GaussianNoise::new(2.0, 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianNoise::new(1.0, 1);
+        let mut b = GaussianNoise::new(1.0, 2);
+        let same = (0..50).filter(|_| a.sample() == b.sample()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn statistics_match_parameters() {
+        let mut n = GaussianNoise::new(3.0, 123);
+        let count = 100_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.sample()).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn silent_source_is_zero() {
+        let mut n = GaussianNoise::silent();
+        assert_eq!(n.std_dev(), 0.0);
+        for _ in 0..10 {
+            assert_eq!(n.sample(), 0.0);
+        }
+    }
+
+    #[test]
+    fn fill_buffer() {
+        let mut n = GaussianNoise::new(1.0, 9);
+        let mut buf = [0.0; 64];
+        n.fill(&mut buf);
+        assert!(buf.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_rejected() {
+        let _ = GaussianNoise::new(-1.0, 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! IEEE 1149.1 boundary scan (\[Oli96\]: "Test Structures on MCM Active
+//! Substrate").
+//!
+//! The MCM is "equipped with boundary scan test structures" so the
+//! die-to-die interconnect can be tested after assembly. This module
+//! implements the standard's machinery:
+//!
+//! * [`TapController`] — the full 16-state TAP FSM driven by TMS/TCK;
+//! * [`Instruction`] — BYPASS / EXTEST / SAMPLE / IDCODE;
+//! * [`BoundaryScanChain`] — the shift/update boundary register whose
+//!   update stage drives (EXTEST) or observes the MCM nets.
+
+use std::fmt;
+
+/// The 16 TAP controller states of IEEE 1149.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[allow(missing_docs)]
+pub enum TapState {
+    #[default]
+    TestLogicReset,
+    RunTestIdle,
+    SelectDrScan,
+    CaptureDr,
+    ShiftDr,
+    Exit1Dr,
+    PauseDr,
+    Exit2Dr,
+    UpdateDr,
+    SelectIrScan,
+    CaptureIr,
+    ShiftIr,
+    Exit1Ir,
+    PauseIr,
+    Exit2Ir,
+    UpdateIr,
+}
+
+impl TapState {
+    /// The IEEE 1149.1 state transition on a TCK rising edge with the
+    /// given TMS value.
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, false) => RunTestIdle,
+            (TestLogicReset, true) => TestLogicReset,
+            (RunTestIdle, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (SelectDrScan, true) => SelectIrScan,
+            (CaptureDr, false) => ShiftDr,
+            (CaptureDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (Exit1Dr, false) => PauseDr,
+            (Exit1Dr, true) => UpdateDr,
+            (PauseDr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (Exit2Dr, false) => ShiftDr,
+            (Exit2Dr, true) => UpdateDr,
+            (UpdateDr, false) => RunTestIdle,
+            (UpdateDr, true) => SelectDrScan,
+            (SelectIrScan, false) => CaptureIr,
+            (SelectIrScan, true) => TestLogicReset,
+            (CaptureIr, false) => ShiftIr,
+            (CaptureIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (Exit1Ir, false) => PauseIr,
+            (Exit1Ir, true) => UpdateIr,
+            (PauseIr, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (Exit2Ir, false) => ShiftIr,
+            (Exit2Ir, true) => UpdateIr,
+            (UpdateIr, false) => RunTestIdle,
+            (UpdateIr, true) => SelectDrScan,
+        }
+    }
+}
+
+impl fmt::Display for TapState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The public instructions the module's TAP supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Instruction {
+    /// Mandatory single-bit bypass (all-ones opcode per the standard).
+    #[default]
+    Bypass,
+    /// Drive/capture the boundary cells from the chip pins — the MCM
+    /// interconnect test instruction.
+    Extest,
+    /// Sample the functional values without disturbing the mission mode.
+    Sample,
+    /// Shift out the 32-bit device identification code.
+    Idcode,
+    /// Drive the boundary update latches onto the pins while the scan
+    /// path is the 1-bit bypass — used to hold safe values on one die
+    /// while testing another.
+    Clamp,
+    /// Float all outputs (high impedance); scan path is bypass.
+    Highz,
+}
+
+impl Instruction {
+    /// 4-bit opcodes (BYPASS must be all ones per the standard).
+    pub fn opcode(self) -> u8 {
+        match self {
+            Instruction::Extest => 0b0000,
+            Instruction::Sample => 0b0001,
+            Instruction::Idcode => 0b0010,
+            Instruction::Clamp => 0b0011,
+            Instruction::Highz => 0b0100,
+            Instruction::Bypass => 0b1111,
+        }
+    }
+
+    /// Decodes an opcode; unknown opcodes select BYPASS, as the standard
+    /// requires.
+    pub fn decode(op: u8) -> Self {
+        match op & 0xF {
+            0b0000 => Instruction::Extest,
+            0b0001 => Instruction::Sample,
+            0b0010 => Instruction::Idcode,
+            0b0011 => Instruction::Clamp,
+            0b0100 => Instruction::Highz,
+            _ => Instruction::Bypass,
+        }
+    }
+}
+
+/// The device ID code of the reproduction's MCM (version 1, invented
+/// part number, the mandatory trailing 1).
+pub const IDCODE: u32 = 0x1_C0_4A_5F | 1;
+
+/// A boundary-scan cell: shift stage plus update latch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoundaryCell {
+    /// Shift-register stage.
+    pub shift: bool,
+    /// Update (output) latch — what EXTEST drives onto the net.
+    pub update: bool,
+}
+
+/// The boundary register of the module: one cell per MCM net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryScanChain {
+    cells: Vec<BoundaryCell>,
+}
+
+impl BoundaryScanChain {
+    /// A chain with `length` cells, all low.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn new(length: usize) -> Self {
+        assert!(length > 0, "a boundary chain needs at least one cell");
+        Self {
+            cells: vec![BoundaryCell::default(); length],
+        }
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the chain has no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// One TCK in Shift-DR: shifts `tdi` in at cell 0, returns TDO (the
+    /// last cell's previous shift value).
+    pub fn shift(&mut self, tdi: bool) -> bool {
+        let tdo = self.cells.last().expect("nonempty").shift;
+        for i in (1..self.cells.len()).rev() {
+            self.cells[i].shift = self.cells[i - 1].shift;
+        }
+        self.cells[0].shift = tdi;
+        tdo
+    }
+
+    /// Capture-DR: loads the observed net values into the shift stages.
+    pub fn capture(&mut self, observed: &[bool]) {
+        assert_eq!(observed.len(), self.cells.len(), "one value per cell");
+        for (c, &v) in self.cells.iter_mut().zip(observed) {
+            c.shift = v;
+        }
+    }
+
+    /// Update-DR: transfers shift stages to the update latches (the
+    /// values EXTEST drives).
+    pub fn update(&mut self) {
+        for c in &mut self.cells {
+            c.update = c.shift;
+        }
+    }
+
+    /// The currently driven values.
+    pub fn driven(&self) -> Vec<bool> {
+        self.cells.iter().map(|c| c.update).collect()
+    }
+
+    /// Shifts a whole pattern in (so that `pattern[i]` lands in cell `i`)
+    /// and returns the bits shifted out, re-ordered so that element `i`
+    /// is what cell `i` held before the scan.
+    pub fn shift_pattern(&mut self, pattern: &[bool]) -> Vec<bool> {
+        // Feeding the pattern in reverse makes pattern[i] land in cell i;
+        // TDO emits the old contents last-cell-first, so reverse the
+        // collected bits back into cell order.
+        let mut out: Vec<bool> = pattern.iter().rev().map(|&b| self.shift(b)).collect();
+        out.reverse();
+        out
+    }
+}
+
+/// The TAP controller plus instruction and data registers of the MCM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapController {
+    state: TapState,
+    ir_shift: u8,
+    instruction: Instruction,
+    bypass: bool,
+    idcode_shift: u32,
+    /// The boundary register (shared by EXTEST/SAMPLE).
+    pub boundary: BoundaryScanChain,
+}
+
+impl TapController {
+    /// A TAP with a boundary chain of `boundary_cells` cells, held in
+    /// Test-Logic-Reset.
+    pub fn new(boundary_cells: usize) -> Self {
+        Self {
+            state: TapState::TestLogicReset,
+            ir_shift: 0,
+            instruction: Instruction::Idcode, // reset selects IDCODE/BYPASS
+            bypass: false,
+            idcode_shift: IDCODE,
+            boundary: BoundaryScanChain::new(boundary_cells),
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// Current instruction.
+    pub fn instruction(&self) -> Instruction {
+        self.instruction
+    }
+
+    /// One TCK rising edge. `observed` supplies the net values for a
+    /// Capture-DR in EXTEST/SAMPLE. Returns TDO where defined.
+    pub fn clock(&mut self, tms: bool, tdi: bool, observed: &[bool]) -> Option<bool> {
+        let mut tdo = None;
+        // Actions happen in the state being *exited* for shift, per the
+        // standard's timing; modelling at the granularity of "state
+        // acts on entry" is the usual software simplification and is
+        // what we do here, acting on the *current* state.
+        match self.state {
+            TapState::ShiftIr => {
+                tdo = Some(self.ir_shift & 1 == 1);
+                self.ir_shift = (self.ir_shift >> 1) | ((tdi as u8) << 3);
+            }
+            TapState::ShiftDr => match self.instruction {
+                Instruction::Bypass | Instruction::Clamp | Instruction::Highz => {
+                    tdo = Some(self.bypass);
+                    self.bypass = tdi;
+                }
+                Instruction::Idcode => {
+                    tdo = Some(self.idcode_shift & 1 == 1);
+                    self.idcode_shift = (self.idcode_shift >> 1) | ((tdi as u32) << 31);
+                }
+                Instruction::Extest | Instruction::Sample => {
+                    tdo = Some(self.boundary.shift(tdi));
+                }
+            },
+            _ => {}
+        }
+        let next = self.state.next(tms);
+        match next {
+            TapState::TestLogicReset => {
+                self.instruction = Instruction::Idcode;
+                self.idcode_shift = IDCODE;
+            }
+            TapState::CaptureIr => {
+                // The standard mandates capturing ...01 into the IR.
+                self.ir_shift = 0b0001;
+            }
+            TapState::CaptureDr => match self.instruction {
+                Instruction::Idcode => self.idcode_shift = IDCODE,
+                Instruction::Extest | Instruction::Sample => self.boundary.capture(observed),
+                Instruction::Bypass | Instruction::Clamp | Instruction::Highz => {
+                    self.bypass = false
+                }
+            },
+            TapState::UpdateIr => {
+                self.instruction = Instruction::decode(self.ir_shift);
+            }
+            TapState::UpdateDr => {
+                if self.instruction == Instruction::Extest {
+                    self.boundary.update();
+                }
+            }
+            _ => {}
+        }
+        self.state = next;
+        tdo
+    }
+
+    /// Drives the FSM to Test-Logic-Reset (five TMS-high clocks, per the
+    /// standard's guarantee).
+    pub fn reset(&mut self) {
+        for _ in 0..5 {
+            self.clock(true, false, &vec![false; self.boundary.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_tms_highs_reach_reset_from_anywhere() {
+        use TapState::*;
+        for start in [
+            TestLogicReset,
+            RunTestIdle,
+            ShiftDr,
+            PauseDr,
+            ShiftIr,
+            PauseIr,
+            UpdateDr,
+            UpdateIr,
+            Exit2Dr,
+        ] {
+            let mut s = start;
+            for _ in 0..5 {
+                s = s.next(true);
+            }
+            assert_eq!(s, TestLogicReset, "from {start:?}");
+        }
+    }
+
+    #[test]
+    fn dr_scan_path() {
+        use TapState::*;
+        let mut s = RunTestIdle;
+        for (tms, expect) in [
+            (true, SelectDrScan),
+            (false, CaptureDr),
+            (false, ShiftDr),
+            (false, ShiftDr),
+            (true, Exit1Dr),
+            (true, UpdateDr),
+            (false, RunTestIdle),
+        ] {
+            s = s.next(tms);
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn pause_and_resume_shifting() {
+        use TapState::*;
+        let mut s = ShiftDr;
+        s = s.next(true); // Exit1Dr
+        s = s.next(false); // PauseDr
+        assert_eq!(s, PauseDr);
+        s = s.next(true); // Exit2Dr
+        s = s.next(false); // back to ShiftDr
+        assert_eq!(s, ShiftDr);
+    }
+
+    #[test]
+    fn opcode_round_trip_and_bypass_default() {
+        for i in [
+            Instruction::Bypass,
+            Instruction::Extest,
+            Instruction::Sample,
+            Instruction::Idcode,
+            Instruction::Clamp,
+            Instruction::Highz,
+        ] {
+            assert_eq!(Instruction::decode(i.opcode()), i);
+        }
+        // Unknown opcodes fall back to BYPASS.
+        assert_eq!(Instruction::decode(0b0111), Instruction::Bypass);
+        assert_eq!(Instruction::Bypass.opcode(), 0b1111);
+    }
+
+    #[test]
+    fn chain_shift_is_a_shift_register() {
+        let mut chain = BoundaryScanChain::new(3);
+        assert!(!chain.shift(true));
+        assert!(!chain.shift(false));
+        assert!(!chain.shift(true));
+        // First bit now reaches the end.
+        assert!(chain.shift(false));
+    }
+
+    #[test]
+    fn shift_pattern_lands_in_order() {
+        let mut chain = BoundaryScanChain::new(4);
+        chain.shift_pattern(&[true, false, true, true]);
+        chain.update();
+        assert_eq!(chain.driven(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn capture_then_shift_out_reads_nets() {
+        let mut chain = BoundaryScanChain::new(4);
+        // Deliberately non-palindromic to pin the ordering.
+        chain.capture(&[true, true, false, true]);
+        let out = chain.shift_pattern(&[false; 4]);
+        assert_eq!(out, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn idcode_reads_out_after_reset() {
+        let mut tap = TapController::new(4);
+        tap.reset();
+        assert_eq!(tap.instruction(), Instruction::Idcode);
+        // Walk to Shift-DR.
+        let obs = vec![false; 4];
+        tap.clock(false, false, &obs); // RunTestIdle
+        tap.clock(true, false, &obs); // SelectDrScan
+        tap.clock(false, false, &obs); // CaptureDr
+        tap.clock(false, false, &obs); // now in ShiftDr
+        let mut code: u32 = 0;
+        for bit in 0..32 {
+            let tdo = tap.clock(false, false, &obs).expect("in ShiftDr");
+            code |= (tdo as u32) << bit;
+        }
+        assert_eq!(code, IDCODE);
+        // Mandatory LSB-1 of every IDCODE.
+        assert_eq!(IDCODE & 1, 1);
+    }
+
+    #[test]
+    fn ir_scan_loads_extest() {
+        let mut tap = TapController::new(4);
+        tap.reset();
+        let obs = vec![false; 4];
+        // Navigate: RTI → SelectDR → SelectIR → CaptureIR → ShiftIR ×4 →
+        // Exit1IR → UpdateIR.
+        tap.clock(false, false, &obs);
+        tap.clock(true, false, &obs);
+        tap.clock(true, false, &obs);
+        tap.clock(false, false, &obs); // CaptureIr
+        let op = Instruction::Extest.opcode();
+        for bit in 0..3 {
+            tap.clock(false, (op >> bit) & 1 == 1, &obs);
+        }
+        tap.clock(true, (op >> 3) & 1 == 1, &obs); // last bit, to Exit1Ir
+        tap.clock(true, false, &obs); // UpdateIr
+        assert_eq!(tap.instruction(), Instruction::Extest);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_chain_rejected() {
+        let _ = BoundaryScanChain::new(0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The EXTEST interconnect test (experiment E10).
+//!
+//! The point of the boundary-scan structures of \[Oli96\] is testing the
+//! MCM's die-to-die wiring after assembly. The classic algorithm is the
+//! **counting sequence** (true/complement walking codes): each net is
+//! assigned its index as a binary code; patterns `p` drive bit `p` of
+//! every net's code; any open or short between nets with different codes
+//! produces a mismatch at the receivers. All-zeros and all-ones patterns
+//! are appended to catch stuck-style behaviour of the wired-AND short
+//! model and opens on nets whose counting code happens to be benign.
+
+use crate::bscan::BoundaryScanChain;
+use crate::substrate::McmAssembly;
+#[cfg(test)]
+use crate::substrate::Fault;
+
+/// One pattern's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternResult {
+    /// The driven values.
+    pub driven: Vec<bool>,
+    /// The observed values after substrate propagation.
+    pub observed: Vec<bool>,
+    /// Nets whose observation differed from the drive.
+    pub mismatches: Vec<usize>,
+}
+
+/// The full test outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestReport {
+    /// Per-pattern results.
+    pub patterns: Vec<PatternResult>,
+    /// Union of all mismatching nets.
+    pub failing_nets: Vec<usize>,
+}
+
+impl TestReport {
+    /// `true` when no pattern mismatched — the module passes.
+    pub fn passed(&self) -> bool {
+        self.failing_nets.is_empty()
+    }
+
+    /// Number of test patterns applied.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+/// The interconnect tester: generates counting-sequence patterns, drives
+/// them through the boundary-scan chain and diagnoses mismatches.
+#[derive(Debug, Clone)]
+pub struct InterconnectTester {
+    net_count: usize,
+}
+
+impl InterconnectTester {
+    /// A tester for a module with `net_count` boundary-connected nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_count` is zero.
+    pub fn new(net_count: usize) -> Self {
+        assert!(net_count > 0, "need at least one net");
+        Self { net_count }
+    }
+
+    /// The counting-sequence pattern set: `ceil(log2(n+2))` code bits,
+    /// each applied true and complemented, plus all-zeros and all-ones.
+    ///
+    /// Codes start at 1 so no net carries the all-zeros code (which the
+    /// open model would alias).
+    pub fn patterns(&self) -> Vec<Vec<bool>> {
+        let n = self.net_count;
+        let bits = usize::BITS - (n + 1).leading_zeros();
+        let mut out = Vec::new();
+        for b in 0..bits {
+            let p: Vec<bool> = (0..n).map(|i| ((i + 1) >> b) & 1 == 1).collect();
+            let q: Vec<bool> = p.iter().map(|&v| !v).collect();
+            out.push(p);
+            out.push(q);
+        }
+        out.push(vec![false; n]);
+        out.push(vec![true; n]);
+        out
+    }
+
+    /// Runs the test against an assembly, exercising the real
+    /// boundary-scan shift/update/capture mechanics for every pattern.
+    pub fn run(&self, assembly: &McmAssembly) -> TestReport {
+        assert_eq!(
+            assembly.nets().len(),
+            self.net_count,
+            "tester sized for a different module"
+        );
+        let mut chain = BoundaryScanChain::new(self.net_count);
+        let mut patterns = Vec::new();
+        let mut failing: Vec<usize> = Vec::new();
+        for driven in self.patterns() {
+            // Shift the pattern into the chain and update (EXTEST drive).
+            chain.shift_pattern(&driven);
+            chain.update();
+            let launched = chain.driven();
+            // The substrate propagates the driven values (with faults).
+            let observed = assembly.propagate(&launched);
+            // Capture and shift out — the receiving cells observe.
+            chain.capture(&observed);
+            let read_back = chain.shift_pattern(&vec![false; self.net_count]);
+            let mismatches: Vec<usize> = (0..self.net_count)
+                .filter(|&i| read_back[i] != driven[i])
+                .collect();
+            for &m in &mismatches {
+                if !failing.contains(&m) {
+                    failing.push(m);
+                }
+            }
+            patterns.push(PatternResult {
+                driven,
+                observed,
+                mismatches,
+            });
+        }
+        failing.sort_unstable();
+        TestReport {
+            patterns,
+            failing_nets: failing,
+        }
+    }
+
+    /// Fault-coverage experiment: injects every single fault in turn and
+    /// reports the fraction the test detects.
+    pub fn coverage(&self, assembly: &McmAssembly) -> f64 {
+        let faults = assembly.all_single_faults();
+        let mut detected = 0;
+        for f in &faults {
+            let mut dut = assembly.clone();
+            dut.clear_faults();
+            dut.inject(*f);
+            if !self.run(&dut).passed() {
+                detected += 1;
+            }
+        }
+        detected as f64 / faults.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> McmAssembly {
+        McmAssembly::paper_module()
+    }
+
+    fn tester() -> InterconnectTester {
+        InterconnectTester::new(module().nets().len())
+    }
+
+    #[test]
+    fn fault_free_module_passes() {
+        let report = tester().run(&module());
+        assert!(report.passed());
+        assert!(report.failing_nets.is_empty());
+    }
+
+    #[test]
+    fn pattern_count_is_logarithmic() {
+        let t = tester(); // 9 nets → codes 1..=9 need 4 bits → 8+2 patterns
+        let report = t.run(&module());
+        assert_eq!(report.pattern_count(), 10);
+    }
+
+    #[test]
+    fn every_open_is_detected_and_diagnosed() {
+        let t = tester();
+        for net in 0..module().nets().len() {
+            let mut dut = module();
+            dut.inject(Fault::Open { net });
+            let report = t.run(&dut);
+            assert!(!report.passed(), "open on net {net} undetected");
+            assert!(
+                report.failing_nets.contains(&net),
+                "open on net {net} misdiagnosed: {:?}",
+                report.failing_nets
+            );
+        }
+    }
+
+    #[test]
+    fn every_adjacent_short_is_detected() {
+        let t = tester();
+        let n = module().nets().len();
+        for a in 0..n - 1 {
+            let mut dut = module();
+            dut.inject(Fault::Short { a, b: a + 1 });
+            let report = t.run(&dut);
+            assert!(!report.passed(), "short {a}-{} undetected", a + 1);
+            // At least one of the bridged nets shows up.
+            assert!(
+                report.failing_nets.contains(&a) || report.failing_nets.contains(&(a + 1)),
+                "short {a}-{} misdiagnosed",
+                a + 1
+            );
+        }
+    }
+
+    #[test]
+    fn non_adjacent_shorts_also_detected() {
+        let t = tester();
+        let mut dut = module();
+        dut.inject(Fault::Short { a: 0, b: 7 });
+        assert!(!t.run(&dut).passed());
+    }
+
+    #[test]
+    fn full_single_fault_coverage() {
+        // The E10 headline: 100 % single-fault coverage on the paper's
+        // module.
+        let cov = tester().coverage(&module());
+        assert_eq!(cov, 1.0, "coverage {cov}");
+    }
+
+    #[test]
+    fn counting_codes_are_distinct() {
+        let t = tester();
+        let pats = t.patterns();
+        let n = module().nets().len();
+        // Reconstruct each net's code from the non-complement patterns
+        // (even indices) and check pairwise distinctness.
+        let codes: Vec<u32> = (0..n)
+            .map(|i| {
+                pats.iter()
+                    .step_by(2)
+                    .take(4)
+                    .enumerate()
+                    .fold(0, |acc, (b, p)| acc | ((p[i] as u32) << b))
+            })
+            .collect();
+        for a in 0..n {
+            for b in a + 1..n {
+                assert_ne!(codes[a], codes[b], "nets {a} and {b} share a code");
+            }
+        }
+        // No all-zeros code.
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different module")]
+    fn size_mismatch_rejected() {
+        let t = InterconnectTester::new(3);
+        let _ = t.run(&module());
+    }
+}

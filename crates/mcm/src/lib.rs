@@ -1,0 +1,47 @@
+//! # fluxcomp-mcm
+//!
+//! The **multi-chip module** that carries the compass (paper §2, §6,
+//! \[Oli96\]): the Sea-of-Gates die and the two micro-machined fluxgate
+//! sensor dies on a silicon substrate, together with the passives that
+//! cannot live on chip (the 12.5 MΩ oscillator resistor, capacitors
+//! above 400 pF) — all "equipped with boundary scan test structures".
+//!
+//! * [`substrate`] — the module netlist with injectable opens/shorts;
+//! * [`bscan`] — a full IEEE 1149.1 TAP controller, instruction set and
+//!   boundary register;
+//! * [`interconnect_test`] — the EXTEST counting-sequence interconnect
+//!   test and its fault-coverage evaluation (experiment E10);
+//! * [`chain`] — the multi-die TAP daisy chain of a production MCM,
+//!   with per-die instruction loads and scan-path integrity checks;
+//! * [`bsdl`] — BSDL-style description generation for the module's
+//!   scan resources (correct by construction, parsed back in tests);
+//! * [`diagnosis`] — a fault dictionary mapping failure signatures back
+//!   to physical defect candidates.
+//!
+//! ## Example
+//!
+//! ```
+//! use fluxcomp_mcm::substrate::{Fault, McmAssembly};
+//! use fluxcomp_mcm::interconnect_test::InterconnectTester;
+//!
+//! let mut module = McmAssembly::paper_module();
+//! let tester = InterconnectTester::new(module.nets().len());
+//! assert!(tester.run(&module).passed());
+//!
+//! module.inject(Fault::Open { net: 2 });
+//! assert!(!tester.run(&module).passed());
+//! ```
+
+pub mod bscan;
+pub mod bsdl;
+pub mod chain;
+pub mod diagnosis;
+pub mod interconnect_test;
+pub mod substrate;
+
+pub use bscan::{BoundaryScanChain, Instruction, TapController, TapState};
+pub use bsdl::{generate_bsdl, parse_bsdl, BsdlSummary};
+pub use chain::TapChain;
+pub use diagnosis::{diagnose_module, FaultDictionary, Signature};
+pub use interconnect_test::{InterconnectTester, TestReport};
+pub use substrate::{Die, Fault, McmAssembly, McmNet, SubstratePassive};

@@ -1,0 +1,293 @@
+//! Small-signal (AC) analysis.
+//!
+//! ELDO-class simulators complement transient runs with AC sweeps; here
+//! the workhorse use is the excitation-coil impedance of the fluxgate:
+//! a series R-L whose inductance depends on the core's operating point,
+//! which is how Fig. 4's "change in impedance … when saturation is
+//! reached" shows up in the frequency domain.
+//!
+//! A minimal complex-arithmetic type is included rather than pulling in
+//! a dependency (`DESIGN.md` §6 keeps the dependency set to the
+//! sanctioned list).
+
+use fluxcomp_units::si::{Farad, Henry, Hertz, Ohm};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number for phasor arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const J: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Constructs from rectangular parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Constructs from polar form.
+    pub fn from_polar(magnitude: f64, phase_rad: f64) -> Self {
+        Self::new(magnitude * phase_rad.cos(), magnitude * phase_rad.sin())
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Reciprocal `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero input in debug builds (division by zero
+    /// impedance is always a netlist error here).
+    pub fn recip(self) -> Self {
+        let d = self.re * self.re + self.im * self.im;
+        debug_assert!(d > 0.0, "reciprocal of zero");
+        Self::new(self.re / d, -self.im / d)
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+/// The impedance of a resistor at angular frequency ω (frequency-flat).
+pub fn z_resistor(r: Ohm) -> Complex {
+    Complex::new(r.value(), 0.0)
+}
+
+/// The impedance of an inductor: `jωL`.
+pub fn z_inductor(l: Henry, f: Hertz) -> Complex {
+    Complex::new(0.0, std::f64::consts::TAU * f.value() * l.value())
+}
+
+/// The impedance of a capacitor: `1/(jωC)`.
+pub fn z_capacitor(c: Farad, f: Hertz) -> Complex {
+    Complex::new(0.0, -1.0 / (std::f64::consts::TAU * f.value() * c.value()))
+}
+
+/// Series combination.
+pub fn series(a: Complex, b: Complex) -> Complex {
+    a + b
+}
+
+/// Parallel combination.
+pub fn parallel(a: Complex, b: Complex) -> Complex {
+    (a * b) / (a + b)
+}
+
+/// One point of an AC sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcPoint {
+    /// Frequency.
+    pub frequency: Hertz,
+    /// Impedance (or transfer value) at that frequency.
+    pub value: Complex,
+}
+
+/// Sweeps a frequency-dependent phasor function over a logarithmic
+/// grid from `f_start` to `f_stop` with `points_per_decade` points.
+///
+/// # Panics
+///
+/// Panics if the range is empty/invalid or `points_per_decade` is zero.
+pub fn log_sweep<F>(f_start: Hertz, f_stop: Hertz, points_per_decade: u32, f: F) -> Vec<AcPoint>
+where
+    F: Fn(Hertz) -> Complex,
+{
+    assert!(f_start.value() > 0.0, "start frequency must be positive");
+    assert!(f_stop > f_start, "stop must exceed start");
+    assert!(points_per_decade > 0, "need points per decade");
+    let decades = (f_stop.value() / f_start.value()).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..n)
+        .map(|k| {
+            let frac = k as f64 / (n - 1) as f64;
+            let freq = Hertz::new(f_start.value() * 10f64.powf(frac * decades));
+            AcPoint {
+                frequency: freq,
+                value: f(freq),
+            }
+        })
+        .collect()
+}
+
+/// The −3 dB corner of a magnitude response relative to its value at
+/// the lowest swept frequency, by linear interpolation in log-f.
+/// `None` if the response never drops below the corner level… or rises.
+pub fn corner_frequency(sweep: &[AcPoint]) -> Option<Hertz> {
+    let reference = sweep.first()?.value.abs();
+    let corner_level = reference / 2f64.sqrt();
+    for w in sweep.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let (ma, mb) = (a.value.abs(), b.value.abs());
+        if ma >= corner_level && mb < corner_level {
+            let la = a.frequency.value().log10();
+            let lb = b.frequency.value().log10();
+            let frac = (ma - corner_level) / (ma - mb);
+            return Some(Hertz::new(10f64.powf(la + frac * (lb - la))));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_field_axioms() {
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(-1.0, 2.0);
+        assert_eq!(a + b, Complex::new(2.0, 6.0));
+        assert_eq!(a - b, Complex::new(4.0, 2.0));
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!((a * b) / b, a);
+        assert_eq!(Complex::J * Complex::J, -Complex::ONE);
+        assert!((a.abs() - 5.0).abs() < 1e-12);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 1.0);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn element_impedances() {
+        let f = Hertz::new(8_000.0);
+        assert_eq!(z_resistor(Ohm::new(77.0)).re, 77.0);
+        // 200 µH at 8 kHz → +j10.05 Ω.
+        let zl = z_inductor(Henry::new(200e-6), f);
+        assert!((zl.im - 10.053).abs() < 1e-2);
+        // 10 pF at 8 kHz → −j1.99 MΩ.
+        let zc = z_capacitor(Farad::new(10e-12), f);
+        assert!((zc.im + 1.989e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn series_and_parallel() {
+        let r = z_resistor(Ohm::new(100.0));
+        assert_eq!(series(r, r).re, 200.0);
+        let p = parallel(r, r);
+        assert!((p.re - 50.0).abs() < 1e-9 && p.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn coil_impedance_drops_in_saturation() {
+        // The Fig. 4 story in the frequency domain, with the sensor's
+        // own numbers: permeable L = 200 µH, saturated ≈ 0.03 µH, both
+        // in series with the 77 Ω coil resistance.
+        let f = Hertz::new(100_000.0); // probe above the excitation
+        let z_perm = series(z_resistor(Ohm::new(77.0)), z_inductor(Henry::new(200e-6), f));
+        let z_sat = series(z_resistor(Ohm::new(77.0)), z_inductor(Henry::new(0.03e-6), f));
+        assert!(z_perm.abs() > 1.5 * z_sat.abs());
+        assert!((z_sat.abs() - 77.0).abs() < 0.1, "saturated coil ≈ resistive");
+    }
+
+    #[test]
+    fn rl_corner_frequency() {
+        // R-L low-pass divider: H(f) = R/(R + jwL); corner at R/(2πL).
+        let r = Ohm::new(77.0);
+        let l = Henry::new(200e-6);
+        let sweep = log_sweep(Hertz::new(100.0), Hertz::new(10e6), 50, |f| {
+            z_resistor(r) / series(z_resistor(r), z_inductor(l, f))
+        });
+        let corner = corner_frequency(&sweep).expect("has a corner");
+        let expect = 77.0 / (std::f64::consts::TAU * 200e-6);
+        assert!(
+            (corner.value() - expect).abs() < 0.03 * expect,
+            "corner {} vs {}",
+            corner.value(),
+            expect
+        );
+    }
+
+    #[test]
+    fn sweep_grid_is_logarithmic() {
+        let sweep = log_sweep(Hertz::new(1.0), Hertz::new(1000.0), 10, |_| Complex::ONE);
+        assert_eq!(sweep.len(), 31);
+        assert!((sweep[0].frequency.value() - 1.0).abs() < 1e-9);
+        assert!((sweep.last().unwrap().frequency.value() - 1000.0).abs() < 1e-6);
+        // Constant ratio between neighbours.
+        let r0 = sweep[1].frequency.value() / sweep[0].frequency.value();
+        let r1 = sweep[20].frequency.value() / sweep[19].frequency.value();
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_response_has_no_corner() {
+        let sweep = log_sweep(Hertz::new(1.0), Hertz::new(1e6), 10, |_| Complex::ONE);
+        assert_eq!(corner_frequency(&sweep), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop must exceed start")]
+    fn bad_sweep_range_rejected() {
+        let _ = log_sweep(Hertz::new(1000.0), Hertz::new(10.0), 10, |_| Complex::ONE);
+    }
+}

@@ -1,0 +1,201 @@
+//! Monte-Carlo analysis.
+//!
+//! ELDO-class simulators ship a Monte-Carlo mode: sample component
+//! values from their tolerance distributions, rerun the measurement,
+//! report the yield. This module provides the deterministic sampling
+//! harness; the quantities being varied and the pass/fail criterion are
+//! the caller's closures, so the same harness drives the oscillator-
+//! tolerance study and the full compass-yield experiment (X3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampled parameter: nominal value and tolerance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Uniform in `nominal·(1 ± tol)` — worst-case component binning.
+    Uniform {
+        /// Relative half-width (0.1 = ±10 %).
+        tol: f64,
+    },
+    /// Gaussian with `sigma = nominal·rel_sigma`, clamped at ±4σ —
+    /// process-like variation.
+    Gaussian {
+        /// Relative standard deviation.
+        rel_sigma: f64,
+    },
+}
+
+impl Tolerance {
+    /// Draws one multiplicative factor.
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            Tolerance::Uniform { tol } => 1.0 + rng.gen_range(-tol..=tol),
+            Tolerance::Gaussian { rel_sigma } => {
+                // Box-Muller, one value.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                1.0 + rel_sigma * z.clamp(-4.0, 4.0)
+            }
+        }
+    }
+}
+
+/// One Monte-Carlo trial's sampled factors, keyed by parameter index.
+pub type Sample = Vec<f64>;
+
+/// The outcome of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloResult {
+    /// Number of trials.
+    pub trials: usize,
+    /// Number of passing trials.
+    pub passes: usize,
+    /// The metric value of every trial, in order.
+    pub metrics: Vec<f64>,
+}
+
+impl MonteCarloResult {
+    /// Yield = passes / trials.
+    pub fn yield_fraction(&self) -> f64 {
+        self.passes as f64 / self.trials.max(1) as f64
+    }
+
+    /// Mean of the metric.
+    pub fn mean(&self) -> f64 {
+        self.metrics.iter().sum::<f64>() / self.metrics.len().max(1) as f64
+    }
+
+    /// Standard deviation of the metric.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        (self.metrics.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+            / self.metrics.len().max(1) as f64)
+            .sqrt()
+    }
+
+    /// The `q`-quantile of the metric (0.5 = median), by sorting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or there are no trials.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        assert!(!self.metrics.is_empty(), "no trials");
+        let mut sorted = self.metrics.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Runs `trials` Monte-Carlo trials.
+///
+/// For each trial, one factor per entry of `tolerances` is drawn; the
+/// `evaluate` closure turns the factors into a scalar metric; `passes`
+/// judges it. Fully deterministic for a given `seed`.
+pub fn run_monte_carlo<F, P>(
+    tolerances: &[Tolerance],
+    trials: usize,
+    seed: u64,
+    mut evaluate: F,
+    mut passes: P,
+) -> MonteCarloResult
+where
+    F: FnMut(&Sample) -> f64,
+    P: FnMut(f64) -> bool,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut metrics = Vec::with_capacity(trials);
+    let mut pass_count = 0;
+    for _ in 0..trials {
+        let sample: Sample = tolerances.iter().map(|t| t.sample(&mut rng)).collect();
+        let metric = evaluate(&sample);
+        if passes(metric) {
+            pass_count += 1;
+        }
+        metrics.push(metric);
+    }
+    MonteCarloResult {
+        trials,
+        passes: pass_count,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let tol = [Tolerance::Uniform { tol: 0.1 }];
+        let run = || {
+            run_monte_carlo(&tol, 50, 42, |s| s[0], |m| m > 1.0)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_range() {
+        let tol = [Tolerance::Uniform { tol: 0.2 }];
+        let r = run_monte_carlo(&tol, 2_000, 7, |s| s[0], |_| true);
+        for &m in &r.metrics {
+            assert!((0.8..=1.2).contains(&m), "{m}");
+        }
+        // Roughly centred.
+        assert!((r.mean() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_statistics() {
+        let tol = [Tolerance::Gaussian { rel_sigma: 0.05 }];
+        let r = run_monte_carlo(&tol, 20_000, 9, |s| s[0], |_| true);
+        assert!((r.mean() - 1.0).abs() < 0.002);
+        assert!((r.std_dev() - 0.05).abs() < 0.003);
+        // 4σ clamp.
+        for &m in &r.metrics {
+            assert!((0.8..=1.2).contains(&m));
+        }
+    }
+
+    #[test]
+    fn yield_counts_passing_trials() {
+        // Metric = the factor itself; pass when above the median-ish 1.0:
+        // yield ≈ 50 %.
+        let tol = [Tolerance::Uniform { tol: 0.1 }];
+        let r = run_monte_carlo(&tol, 10_000, 3, |s| s[0], |m| m > 1.0);
+        assert!((r.yield_fraction() - 0.5).abs() < 0.03, "{}", r.yield_fraction());
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let tol = [Tolerance::Gaussian { rel_sigma: 0.1 }];
+        let r = run_monte_carlo(&tol, 5_000, 5, |s| s[0], |_| true);
+        let q10 = r.quantile(0.1);
+        let q50 = r.quantile(0.5);
+        let q90 = r.quantile(0.9);
+        assert!(q10 < q50 && q50 < q90);
+        assert!((q50 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn multi_parameter_samples() {
+        let tol = [
+            Tolerance::Uniform { tol: 0.1 },
+            Tolerance::Gaussian { rel_sigma: 0.02 },
+        ];
+        let r = run_monte_carlo(&tol, 100, 11, |s| s[0] * s[1], |_| true);
+        assert_eq!(r.trials, 100);
+        assert_eq!(r.metrics.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_rejected() {
+        let tol = [Tolerance::Uniform { tol: 0.1 }];
+        let r = run_monte_carlo(&tol, 10, 1, |s| s[0], |_| true);
+        let _ = r.quantile(1.5);
+    }
+}

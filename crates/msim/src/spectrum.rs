@@ -1,0 +1,161 @@
+//! Harmonic / spectrum analysis of sampled waveforms.
+//!
+//! The classical fluxgate literature lives in the frequency domain: with
+//! a symmetric excitation the pickup voltage contains only **odd**
+//! harmonics of the excitation; an external field breaks the symmetry
+//! and puts energy into the **even** harmonics, linearly in the field —
+//! that is the physics behind second-harmonic readout (paper §2.1). This
+//! module provides the single-bin Goertzel evaluation and a harmonic
+//! profile so the `afe` tests can verify the simulated sensor reproduces
+//! the textbook spectrum.
+
+/// Evaluates one DFT bin at `frequency` (Hz) of a signal sampled at
+/// `sample_rate` (Hz) via the Goertzel recurrence. Returns the complex
+/// amplitude normalised so a pure cosine of amplitude A at that
+/// frequency yields magnitude ≈ A.
+///
+/// # Panics
+///
+/// Panics if the signal is empty or the rates are not positive.
+pub fn goertzel(samples: &[f64], sample_rate: f64, frequency: f64) -> (f64, f64) {
+    assert!(!samples.is_empty(), "empty signal");
+    assert!(sample_rate > 0.0 && frequency >= 0.0, "rates must be positive");
+    let n = samples.len() as f64;
+    let w = std::f64::consts::TAU * frequency / sample_rate;
+    let coeff = 2.0 * w.cos();
+    let (mut s_prev, mut s_prev2) = (0.0f64, 0.0f64);
+    for &x in samples {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let re = s_prev - s_prev2 * w.cos();
+    let im = s_prev2 * w.sin();
+    (2.0 * re / n, 2.0 * im / n)
+}
+
+/// Magnitude of one bin.
+pub fn bin_magnitude(samples: &[f64], sample_rate: f64, frequency: f64) -> f64 {
+    let (re, im) = goertzel(samples, sample_rate, frequency);
+    re.hypot(im)
+}
+
+/// The magnitudes of harmonics `1..=count` of `fundamental`.
+pub fn harmonic_profile(
+    samples: &[f64],
+    sample_rate: f64,
+    fundamental: f64,
+    count: u32,
+) -> Vec<f64> {
+    (1..=count)
+        .map(|k| bin_magnitude(samples, sample_rate, k as f64 * fundamental))
+        .collect()
+}
+
+/// The even-to-odd harmonic energy ratio — the "field present" indicator
+/// of classical fluxgate theory. Computed over harmonics `1..=count`.
+pub fn even_odd_ratio(profile: &[f64]) -> f64 {
+    let (mut even, mut odd) = (0.0, 0.0);
+    for (k, &m) in profile.iter().enumerate() {
+        let harmonic = k + 1;
+        if harmonic % 2 == 0 {
+            even += m * m;
+        } else {
+            odd += m * m;
+        }
+    }
+    if odd == 0.0 {
+        return f64::INFINITY;
+    }
+    (even / odd).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, amp: f64, phase: f64, n: usize, fs: f64) -> Vec<f64> {
+        (0..n)
+            .map(|k| amp * (std::f64::consts::TAU * freq * k as f64 / fs + phase).cos())
+            .collect()
+    }
+
+    #[test]
+    fn pure_tone_measures_its_amplitude() {
+        let fs = 65_536.0;
+        let signal = tone(8_000.0, 1.5, 0.3, 8_192, fs);
+        let m = bin_magnitude(&signal, fs, 8_000.0);
+        assert!((m - 1.5).abs() < 1e-6, "magnitude {m}");
+        // Off-bin: essentially nothing.
+        assert!(bin_magnitude(&signal, fs, 12_000.0) < 1e-6);
+    }
+
+    #[test]
+    fn superposition_resolves_components() {
+        let fs = 65_536.0;
+        let n = 8_192;
+        let mut signal = tone(8_000.0, 1.0, 0.0, n, fs);
+        let second = tone(16_000.0, 0.25, 1.0, n, fs);
+        for (a, b) in signal.iter_mut().zip(second) {
+            *a += b;
+        }
+        assert!((bin_magnitude(&signal, fs, 8_000.0) - 1.0).abs() < 1e-6);
+        assert!((bin_magnitude(&signal, fs, 16_000.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn harmonic_profile_of_square_wave() {
+        // A square wave has only odd harmonics falling as 1/k.
+        let fs = 65_536.0;
+        let f0 = 1_024.0;
+        let n = 65_536;
+        let square: Vec<f64> = (0..n)
+            .map(|k| {
+                let phase = (f0 * k as f64 / fs).rem_euclid(1.0);
+                if phase < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let profile = harmonic_profile(&square, fs, f0, 6);
+        let expect_1 = 4.0 / std::f64::consts::PI;
+        assert!((profile[0] - expect_1).abs() < 0.01, "h1 = {}", profile[0]);
+        assert!(profile[1] < 0.01, "h2 = {}", profile[1]);
+        assert!((profile[2] - expect_1 / 3.0).abs() < 0.01, "h3 = {}", profile[2]);
+        assert!(profile[3] < 0.01, "h4 = {}", profile[3]);
+        assert!(even_odd_ratio(&profile) < 0.02);
+    }
+
+    #[test]
+    fn even_odd_ratio_detects_asymmetry() {
+        let fs = 65_536.0;
+        let n = 8_192;
+        let f0 = 1_024.0;
+        let symmetric = tone(f0, 1.0, 0.0, n, fs);
+        let mut asymmetric = symmetric.clone();
+        let h2 = tone(2.0 * f0, 0.2, 0.5, n, fs);
+        for (a, b) in asymmetric.iter_mut().zip(h2) {
+            *a += b;
+        }
+        let r_sym = even_odd_ratio(&harmonic_profile(&symmetric, fs, f0, 4));
+        let r_asym = even_odd_ratio(&harmonic_profile(&asymmetric, fs, f0, 4));
+        assert!(r_sym < 1e-5);
+        assert!((r_asym - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn dc_bin() {
+        let signal = vec![0.75; 1000];
+        // The k=0 bin returns 2x the mean with this normalisation.
+        let (re, _) = goertzel(&signal, 1000.0, 0.0);
+        assert!((re - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_signal_rejected() {
+        let _ = goertzel(&[], 1.0, 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the simulation kernel.
+
+use fluxcomp_msim::ac::{log_sweep, parallel, series, z_capacitor, z_inductor, z_resistor, Complex};
+use fluxcomp_msim::solver::{differentiate, Method, OdeSolver};
+use fluxcomp_msim::time::SimTime;
+use fluxcomp_msim::trace::Trace;
+use fluxcomp_units::si::{Farad, Henry, Hertz, Ohm};
+use proptest::prelude::*;
+
+proptest! {
+    /// SimTime phase decomposition: `t = cycles·period + phase`, with
+    /// `0 ≤ phase < period`.
+    #[test]
+    fn time_phase_decomposition(t in 0i64..1_000_000_000, period in 1i64..1_000_000) {
+        let time = SimTime::from_picos(t);
+        let p = SimTime::from_picos(period);
+        let cycles = time.cycles_of(p);
+        let phase = time.phase_in(p);
+        prop_assert!(phase >= SimTime::ZERO && phase < p);
+        prop_assert_eq!(
+            SimTime::from_picos(cycles * period) + phase,
+            time
+        );
+    }
+
+    /// Trace interpolation is exact at sample points and bounded by the
+    /// neighbouring samples in between.
+    #[test]
+    fn trace_interpolation_bounds(values in prop::collection::vec(-100.0f64..100.0, 2..40)) {
+        let mut tr = Trace::new("t");
+        for (k, &v) in values.iter().enumerate() {
+            tr.push(SimTime::from_nanos(k as i64 * 10), v);
+        }
+        for (k, &v) in values.iter().enumerate() {
+            let got = tr.sample_at(SimTime::from_nanos(k as i64 * 10)).unwrap();
+            prop_assert!((got - v).abs() < 1e-12);
+        }
+        for k in 0..values.len() - 1 {
+            let mid = tr.sample_at(SimTime::from_nanos(k as i64 * 10 + 5)).unwrap();
+            let lo = values[k].min(values[k + 1]);
+            let hi = values[k].max(values[k + 1]);
+            prop_assert!(mid >= lo - 1e-12 && mid <= hi + 1e-12);
+        }
+    }
+
+    /// Rising and falling crossing counts of any trace differ by at
+    /// most one (a continuous signal must come back down to cross up
+    /// again).
+    #[test]
+    fn crossings_alternate(values in prop::collection::vec(-10.0f64..10.0, 2..100), thr in -5.0f64..5.0) {
+        let mut tr = Trace::new("t");
+        for (k, &v) in values.iter().enumerate() {
+            tr.push(SimTime::from_nanos(k as i64), v);
+        }
+        let up = tr.crossings(thr, true).len() as i64;
+        let down = tr.crossings(thr, false).len() as i64;
+        prop_assert!((up - down).abs() <= 1, "up {up} down {down}");
+    }
+
+    /// The RK4 solver reproduces exponential decay to high accuracy for
+    /// random rates — and more accurately than Euler.
+    #[test]
+    fn rk4_beats_euler_on_decay(rate in 0.1f64..5.0) {
+        let run = |method: Method| {
+            let mut s = OdeSolver::new(method, 1);
+            let mut y = [1.0];
+            let dt = 1e-3;
+            for k in 0..1000 {
+                s.step(k as f64 * dt, dt, &mut y, |_t, y, dy| dy[0] = -rate * y[0]);
+            }
+            (y[0] - (-rate).exp()).abs()
+        };
+        prop_assert!(run(Method::Rk4) <= run(Method::Euler) + 1e-15);
+    }
+
+    /// Differentiation of any quadratic recovers its exact derivative at
+    /// interior points (central differences are 2nd-order exact there).
+    #[test]
+    fn differentiate_quadratics(a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0) {
+        let dt = 0.01;
+        let samples: Vec<f64> = (0..50)
+            .map(|k| {
+                let t = k as f64 * dt;
+                a * t * t + b * t + c
+            })
+            .collect();
+        let d = differentiate(&samples, dt);
+        for k in 1..49 {
+            let t = k as f64 * dt;
+            let expect = 2.0 * a * t + b;
+            prop_assert!((d[k] - expect).abs() < 1e-9, "at {k}");
+        }
+    }
+
+    /// Complex arithmetic: division inverts multiplication.
+    #[test]
+    fn complex_division_inverts(ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+                                br in 0.1f64..10.0, bi in 0.1f64..10.0) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        let q = (a * b) / b;
+        prop_assert!((q.re - a.re).abs() < 1e-9 && (q.im - a.im).abs() < 1e-9);
+    }
+
+    /// Parallel impedance is always smaller in magnitude than either
+    /// branch for same-phase branches (two resistors).
+    #[test]
+    fn parallel_resistors_smaller(r1 in 0.1f64..1e6, r2 in 0.1f64..1e6) {
+        let p = parallel(z_resistor(Ohm::new(r1)), z_resistor(Ohm::new(r2)));
+        prop_assert!(p.abs() <= r1.min(r2) + 1e-9);
+        // And equals the product-over-sum formula.
+        prop_assert!((p.re - r1 * r2 / (r1 + r2)).abs() < 1e-6 * (r1 + r2));
+    }
+
+    /// An L-C series branch resonates: |Z| has a minimum at
+    /// 1/(2π√(LC)) where the reactances cancel.
+    #[test]
+    fn lc_series_resonance(l_uh in 1.0f64..1000.0, c_nf in 1.0f64..1000.0) {
+        let l = Henry::new(l_uh * 1e-6);
+        let c = Farad::new(c_nf * 1e-9);
+        let f_res = 1.0 / (std::f64::consts::TAU * (l.value() * c.value()).sqrt());
+        let z_at = |f: f64| series(z_inductor(l, Hertz::new(f)), z_capacitor(c, Hertz::new(f))).abs();
+        prop_assert!(z_at(f_res) < 1.0, "|Z| at resonance: {}", z_at(f_res));
+        prop_assert!(z_at(f_res * 2.0) > z_at(f_res));
+        prop_assert!(z_at(f_res / 2.0) > z_at(f_res));
+    }
+
+    /// Log sweeps are monotone in frequency and hit both endpoints.
+    #[test]
+    fn sweep_monotone(start_exp in 0.0f64..3.0, decades in 0.5f64..4.0) {
+        let f0 = 10f64.powf(start_exp);
+        let f1 = f0 * 10f64.powf(decades);
+        let sweep = log_sweep(Hertz::new(f0), Hertz::new(f1), 7, |_| Complex::ONE);
+        prop_assert!(sweep.windows(2).all(|w| w[1].frequency > w[0].frequency));
+        prop_assert!((sweep[0].frequency.value() - f0).abs() < 1e-6 * f0);
+        prop_assert!((sweep.last().unwrap().frequency.value() - f1).abs() < 1e-6 * f1);
+    }
+}

@@ -1,0 +1,241 @@
+//! The high-speed up/down counter (paper §4).
+//!
+//! "The pulse count part contains a high-frequency (4.194304 MHz)
+//! up-down counter, which transforms the output of the pulse detector
+//! into two integer values x and y, each indicating the field component
+//! of the x- and y-sensor."
+//!
+//! At every master-clock edge the counter samples the detector output:
+//! it counts **up while the detector is high and down while it is low**.
+//! Over `N` whole excitation periods the accumulated value is
+//!
+//! ```text
+//! count = N · f_clk/f_exc · (2·duty − 1)  =  −N · f_clk/f_exc · H_ext/H_peak
+//! ```
+//!
+//! i.e. a signed integer directly proportional to the measured field
+//! component. The counter's finite clock is the dominant quantisation in
+//! the whole signal chain; experiment E5 sweeps it.
+
+use fluxcomp_units::si::Hertz;
+
+/// A synchronous up/down counter with saturating width limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UpDownCounter {
+    width: u32,
+    value: i64,
+    enabled: bool,
+}
+
+impl UpDownCounter {
+    /// Creates a counter with a two's-complement `width` (bits including
+    /// sign); the value saturates at ±(2^(width−1) − 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ width ≤ 32`.
+    pub fn new(width: u32) -> Self {
+        assert!((2..=32).contains(&width), "width must be in 2..=32");
+        Self {
+            width,
+            value: 0,
+            enabled: true,
+        }
+    }
+
+    /// The paper's counter: sized for the multi-period measurement —
+    /// 16 bits holds ±8 periods × 524 counts with margin.
+    pub fn paper_design() -> Self {
+        Self::new(16)
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current count.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Saturation limit (positive side).
+    pub fn max_value(&self) -> i64 {
+        (1 << (self.width - 1)) - 1
+    }
+
+    /// Whether the count-enable is asserted (the paper gates this to
+    /// save power).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Asserts/deasserts count-enable.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Clears the count.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// One master-clock edge: counts up if `up` is high, down otherwise.
+    /// Does nothing while disabled. Saturates at the width limits.
+    pub fn clock(&mut self, up: bool) {
+        if !self.enabled {
+            return;
+        }
+        let max = self.max_value();
+        let min = -max - 1;
+        self.value = if up {
+            (self.value + 1).min(max)
+        } else {
+            (self.value - 1).max(min)
+        };
+    }
+
+    /// Runs the counter over a pre-sampled detector stream (one sample
+    /// per master-clock edge) and returns the final count.
+    pub fn run(&mut self, detector_at_clock: impl IntoIterator<Item = bool>) -> i64 {
+        for up in detector_at_clock {
+            self.clock(up);
+        }
+        self.value
+    }
+}
+
+impl Default for UpDownCounter {
+    fn default() -> Self {
+        Self::paper_design()
+    }
+}
+
+/// Resamples a detector waveform (uniform samples over the measurement
+/// window) onto master-clock edges — the boundary where the analogue
+/// world meets the counter.
+///
+/// `detector` holds `n` uniform samples covering `window_seconds`;
+/// returns one boolean per master-clock edge in the same window
+/// (zero-order hold).
+pub fn sample_at_clock(detector: &[bool], window_seconds: f64, clock: Hertz) -> Vec<bool> {
+    if detector.is_empty() || window_seconds <= 0.0 {
+        return Vec::new();
+    }
+    let edges = (window_seconds * clock.value()) as usize;
+    let n = detector.len();
+    (0..edges)
+        .map(|e| {
+            let t = e as f64 / clock.value();
+            let idx = ((t / window_seconds) * n as f64) as usize;
+            detector[idx.min(n - 1)]
+        })
+        .collect()
+}
+
+/// The ideal (real-valued) count for a given duty cycle, clock and
+/// measurement window — the quantity the integer counter approximates.
+pub fn ideal_count(duty: f64, clock: Hertz, window_seconds: f64) -> f64 {
+    clock.value() * window_seconds * (2.0 * duty - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_up_and_down() {
+        let mut c = UpDownCounter::new(8);
+        c.clock(true);
+        c.clock(true);
+        c.clock(false);
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn balanced_stream_nets_zero() {
+        let mut c = UpDownCounter::paper_design();
+        let stream = (0..1000).map(|k| k % 2 == 0);
+        assert_eq!(c.run(stream), 0);
+    }
+
+    #[test]
+    fn duty_maps_to_count() {
+        // 60 % duty over 1000 edges → net +200.
+        let mut c = UpDownCounter::paper_design();
+        let stream = (0..1000).map(|k| k % 10 < 6);
+        assert_eq!(c.run(stream), 200);
+        assert_eq!(ideal_count(0.6, Hertz::new(1000.0), 1.0).round() as i64, 200);
+    }
+
+    #[test]
+    fn saturates_at_width_limits() {
+        let mut c = UpDownCounter::new(4); // ±7 / −8
+        for _ in 0..100 {
+            c.clock(true);
+        }
+        assert_eq!(c.value(), 7);
+        for _ in 0..100 {
+            c.clock(false);
+        }
+        assert_eq!(c.value(), -8);
+        assert_eq!(c.max_value(), 7);
+    }
+
+    #[test]
+    fn enable_gates_counting() {
+        let mut c = UpDownCounter::paper_design();
+        c.set_enabled(false);
+        assert!(!c.is_enabled());
+        c.clock(true);
+        assert_eq!(c.value(), 0);
+        c.set_enabled(true);
+        c.clock(true);
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = UpDownCounter::paper_design();
+        c.clock(true);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn clock_sampling_preserves_duty() {
+        // A 25 %-duty square wave sampled at a high clock.
+        let n = 8192;
+        let detector: Vec<bool> = (0..n).map(|k| (k % 512) < 128).collect();
+        let window = 1e-3;
+        let sampled = sample_at_clock(&detector, window, Hertz::new(4_194_304.0));
+        let duty = sampled.iter().filter(|&&b| b).count() as f64 / sampled.len() as f64;
+        assert!((duty - 0.25).abs() < 0.01, "duty = {duty}");
+    }
+
+    #[test]
+    fn paper_count_magnitude() {
+        // One 8 kHz period at 4.194304 MHz: 524 edges. A duty of
+        // 0.5 − 1/524 gives a net count of −2.
+        let clock = Hertz::new(4_194_304.0);
+        let window = 1.0 / 8_000.0;
+        let edges = (window * clock.value()) as usize;
+        assert_eq!(edges, 524);
+        let high = (edges as f64 * (0.5 - 1.0 / 524.0)).round() as usize;
+        let stream = (0..edges).map(|k| k < high);
+        let mut c = UpDownCounter::paper_design();
+        assert_eq!(c.run(stream), -2);
+    }
+
+    #[test]
+    fn sampling_degenerate_inputs() {
+        assert!(sample_at_clock(&[], 1.0, Hertz::new(1e6)).is_empty());
+        assert!(sample_at_clock(&[true], 0.0, Hertz::new(1e6)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn bad_width_rejected() {
+        let _ = UpDownCounter::new(1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Scan-chain insertion — design-for-test for the digital section.
+//!
+//! The MCM carries boundary scan for the *interconnect* (\[Oli96\]); the
+//! digital logic itself is made testable the standard way: every
+//! flip-flop is replaced by a **scan flip-flop** (a mux in front of the
+//! D input), and the flops are stitched into a serial chain. In test
+//! mode the tester shifts a state in, pulses one functional clock, and
+//! shifts the response out — turning sequential test into combinational
+//! test.
+//!
+//! [`insert_scan`] rewrites any [`Netlist`] built by the synthesis
+//! helpers; the result is checked functionally (mission mode unchanged)
+//! and structurally (shift works) in the tests, and its area overhead
+//! feeds the E6 occupancy discussion.
+
+use crate::gates::{GateKind, NetId, Netlist};
+
+/// The test-access nets added by scan insertion.
+#[derive(Debug, Clone)]
+pub struct ScanChain {
+    /// The rewritten netlist.
+    pub netlist: Netlist,
+    /// Scan-enable input (1 = shift mode).
+    pub scan_enable: NetId,
+    /// Serial scan input.
+    pub scan_in: NetId,
+    /// Serial scan output (the last flop in the chain).
+    pub scan_out: NetId,
+    /// The scan flops in chain order (scan_in side first).
+    pub chain: Vec<NetId>,
+}
+
+impl ScanChain {
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// `true` when the original netlist had no flops.
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+}
+
+/// Rewrites `netlist` with a scan chain: every DFF's D input becomes
+/// `mux(scan_enable, D, previous_flop)`.
+///
+/// The rewrite preserves net indices (gates are only *added*), so
+/// callers' saved `NetId`s remain valid — including bus handles from the
+/// synthesis builders.
+pub fn insert_scan(mut netlist: Netlist) -> ScanChain {
+    let scan_enable = netlist.input();
+    let scan_in = netlist.input();
+    // Collect flops in creation order (chain order).
+    let flops: Vec<NetId> = (0..netlist.len())
+        .map(NetId::from_index)
+        .filter(|&id| netlist.kind(id) == GateKind::Dff)
+        .collect();
+    let mut previous = scan_in;
+    for &ff in &flops {
+        let d = netlist.gate_inputs(ff)[0];
+        let scan_mux = netlist.mux(scan_enable, d, previous);
+        netlist.connect_dff(ff, scan_mux);
+        previous = ff;
+    }
+    ScanChain {
+        scan_out: previous,
+        netlist,
+        scan_enable,
+        scan_in,
+        chain: flops,
+    }
+}
+
+/// The area overhead of scan insertion, in transistors: one MUX2 per
+/// flop.
+pub fn scan_overhead_transistors(flop_count: u32) -> u32 {
+    flop_count * GateKind::Mux.transistors()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::GateSim;
+    use crate::synth::updown_counter;
+
+    fn scanned_counter() -> (ScanChain, NetId, Vec<NetId>) {
+        let (nl, up, state) = updown_counter(8);
+        (insert_scan(nl), up, state)
+    }
+
+    #[test]
+    fn mission_mode_is_unchanged() {
+        let (scan, up, state) = scanned_counter();
+        let mut sim = GateSim::new(scan.netlist.clone());
+        sim.set_input(scan.scan_enable, false);
+        sim.set_input(scan.scan_in, false);
+        sim.set_input(up, true);
+        sim.settle();
+        for _ in 0..25 {
+            sim.clock_edge();
+        }
+        assert_eq!(sim.bus_value_signed(&state), 25);
+        sim.set_input(up, false);
+        sim.settle();
+        for _ in 0..5 {
+            sim.clock_edge();
+        }
+        assert_eq!(sim.bus_value_signed(&state), 20);
+    }
+
+    #[test]
+    fn shift_mode_loads_arbitrary_state() {
+        let (scan, up, state) = scanned_counter();
+        let mut sim = GateSim::new(scan.netlist.clone());
+        sim.set_input(up, true);
+        sim.set_input(scan.scan_enable, true);
+        // Shift the pattern 0b1010_0110 in, last-flop bit first.
+        let pattern = 0b1010_0110u8;
+        for k in (0..8).rev() {
+            sim.set_input(scan.scan_in, (pattern >> k) & 1 == 1);
+            sim.settle();
+            sim.clock_edge();
+        }
+        // Chain order == state order: flop k holds bit k of the pattern
+        // (the bit shifted in first ends up deepest).
+        sim.set_input(scan.scan_enable, false);
+        sim.settle();
+        let mut expected = 0u64;
+        for (k, _) in state.iter().enumerate() {
+            // After 8 shifts, flop k (k-th in chain) holds pattern bit
+            // (7 - k) XOR ... — verify by direct read instead of deriving:
+            let bit = sim.value(state[k]);
+            if bit {
+                expected |= 1 << k;
+            }
+        }
+        // Whatever landed, one functional clock must increment it.
+        let loaded = expected as i64;
+        sim.clock_edge();
+        let after = sim.bus_value(&state) as i64;
+        assert_eq!(after, (loaded + 1) & 0xFF, "loaded {loaded:#010b}");
+        // And the load was the shifted pattern (flop k = bit 7-k... check
+        // against a software model of the chain):
+        let mut model = [false; 8];
+        for k in (0..8).rev() {
+            // shift: each flop takes the previous flop's value; flop 0
+            // takes scan_in.
+            for i in (1..8).rev() {
+                model[i] = model[i - 1];
+            }
+            model[0] = (pattern >> k) & 1 == 1;
+        }
+        let model_value = model
+            .iter()
+            .enumerate()
+            .fold(0i64, |acc, (i, &b)| acc | ((b as i64) << i));
+        assert_eq!(loaded, model_value);
+    }
+
+    #[test]
+    fn capture_and_shift_out_reads_state() {
+        let (scan, up, _) = scanned_counter();
+        let mut sim = GateSim::new(scan.netlist.clone());
+        // Mission mode: count to 13.
+        sim.set_input(scan.scan_enable, false);
+        sim.set_input(scan.scan_in, false);
+        sim.set_input(up, true);
+        sim.settle();
+        for _ in 0..13 {
+            sim.clock_edge();
+        }
+        // Shift out: scan_out emits the last flop (MSB) first.
+        sim.set_input(scan.scan_enable, true);
+        sim.settle();
+        let mut value = 0u64;
+        for _ in 0..8 {
+            let bit = sim.value(scan.scan_out);
+            value = (value << 1) | bit as u64;
+            sim.clock_edge();
+        }
+        assert_eq!(value, 13, "shifted-out state");
+    }
+
+    #[test]
+    fn chain_covers_every_flop() {
+        let (scan, _, _) = scanned_counter();
+        assert_eq!(scan.len(), 8);
+        assert!(!scan.is_empty());
+        let ff_count = scan.netlist.stats().flip_flops;
+        assert_eq!(ff_count as usize, scan.len());
+    }
+
+    #[test]
+    fn overhead_is_one_mux_per_flop() {
+        let (nl, _, _) = updown_counter(8);
+        let before = nl.stats().transistors;
+        let scan = insert_scan(nl);
+        let after = scan.netlist.stats().transistors;
+        assert_eq!(after - before, scan_overhead_transistors(8));
+    }
+
+    #[test]
+    fn combinational_netlist_yields_empty_chain() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.and(a, b);
+        nl.mark_output("x", x);
+        let scan = insert_scan(nl);
+        assert!(scan.is_empty());
+        assert_eq!(scan.scan_out, scan.scan_in, "chain degenerates to a wire");
+    }
+}

@@ -1,0 +1,319 @@
+//! The control sequencer as a one-hot gate-level FSM.
+//!
+//! Completes the gate-level coverage of the digital section: the
+//! [`crate::sequencer::Sequencer`]'s five states become five one-hot
+//! flip-flops with combinational next-state logic and down-counters for
+//! the per-state dwell (periods per axis, 8 CORDIC cycles). The netlist
+//! is equivalence-checked against the behavioural FSM event-for-event.
+//!
+//! Interface (all synchronous to the one global clock):
+//! * input `start` — kicks a fix off from Idle/Display;
+//! * input `advance` — one measurement/compute event (an excitation
+//!   period completing, or a CORDIC cycle);
+//! * outputs: the five one-hot state bits plus the enable lines.
+
+use crate::gates::{NetId, Netlist};
+use crate::synth::{equals_const, ripple_adder};
+
+/// Net handles of the synthesised sequencer.
+#[derive(Debug, Clone)]
+pub struct SequencerNets {
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Start input.
+    pub start: NetId,
+    /// Advance input.
+    pub advance: NetId,
+    /// One-hot state bits: Idle, MeasureX, MeasureY, Compute, Display.
+    pub states: [NetId; 5],
+    /// Analogue-section enable.
+    pub analog_enable: NetId,
+    /// Counter enable.
+    pub counter_enable: NetId,
+    /// Arctan enable.
+    pub arctan_enable: NetId,
+    /// Sensor select (0 = X, 1 = Y, valid while analogue enabled).
+    pub sensor_select: NetId,
+}
+
+/// Builds the one-hot sequencer for `periods_per_axis` (≤ 15) dwell in
+/// each measure state and the fixed 8-cycle compute dwell.
+///
+/// # Panics
+///
+/// Panics if `periods_per_axis` is 0 or above 15 (the 4-bit dwell
+/// counter).
+pub fn sequencer_netlist(periods_per_axis: u32) -> SequencerNets {
+    assert!(
+        (1..=15).contains(&periods_per_axis),
+        "periods_per_axis must fit the 4-bit dwell counter"
+    );
+    let mut nl = Netlist::new();
+    let start = nl.input();
+    let advance = nl.input();
+    let zero = nl.constant(false);
+    let one = nl.constant(true);
+
+    // One-hot state register. Idle's flop resets to 0 like the others,
+    // so "all states low" is treated as Idle via a derived signal —
+    // hardware would use a set-dominant reset; here we OR Idle with
+    // "nothing set".
+    let s_idle_ff = nl.dff(zero);
+    let s_mx = nl.dff(zero);
+    let s_my = nl.dff(zero);
+    let s_comp = nl.dff(zero);
+    let s_disp = nl.dff(zero);
+    // idle = ff OR none-of-the-others (power-on state).
+    let any1 = nl.or(s_mx, s_my);
+    let any2 = nl.or(s_comp, s_disp);
+    let any = nl.or(any1, any2);
+    let none = nl.not(any);
+    let s_idle = nl.or(s_idle_ff, none);
+
+    // Dwell counter: 4 bits, incremented on `advance` in measure states,
+    // or every cycle in compute.
+    let dwell: Vec<NetId> = (0..4).map(|_| nl.dff(zero)).collect();
+    let one_bus = vec![one, zero, zero, zero];
+    let dwell_inc = ripple_adder(&mut nl, &dwell, &one_bus);
+
+    // Terminal conditions.
+    let at_last_period = equals_const(&mut nl, &dwell, periods_per_axis as i64 - 1);
+    let at_last_cycle = equals_const(&mut nl, &dwell, 7);
+
+    // Transition strobes.
+    let idle_or_disp = nl.or(s_idle, s_disp);
+    let go = nl.and(idle_or_disp, start);
+    let measuring = nl.or(s_mx, s_my);
+    let adv_measure = nl.and(measuring, advance);
+    let mx_done = {
+        let t = nl.and(s_mx, advance);
+        nl.and(t, at_last_period)
+    };
+    let my_done = {
+        let t = nl.and(s_my, advance);
+        nl.and(t, at_last_period)
+    };
+    let comp_step = nl.and(s_comp, advance);
+    let comp_done = nl.and(comp_step, at_last_cycle);
+
+    // Next-state (one-hot): set on entry strobes, hold otherwise.
+    let next_mx = {
+        let stay = {
+            let nd = nl.not(mx_done);
+            nl.and(s_mx, nd)
+        };
+        nl.or(go, stay)
+    };
+    let next_my = {
+        let stay = {
+            let nd = nl.not(my_done);
+            nl.and(s_my, nd)
+        };
+        nl.or(mx_done, stay)
+    };
+    let next_comp = {
+        let stay = {
+            let nd = nl.not(comp_done);
+            nl.and(s_comp, nd)
+        };
+        nl.or(my_done, stay)
+    };
+    let next_disp = {
+        let leave = nl.not(go);
+        let stay = nl.and(s_disp, leave);
+        nl.or(comp_done, stay)
+    };
+    let next_idle = {
+        let leave = nl.not(go);
+        nl.and(s_idle, leave)
+    };
+    nl.connect_dff(s_idle_ff, next_idle);
+    nl.connect_dff(s_mx, next_mx);
+    nl.connect_dff(s_my, next_my);
+    nl.connect_dff(s_comp, next_comp);
+    nl.connect_dff(s_disp, next_disp);
+
+    // Dwell next value: reset on any state entry/transition, else count
+    // events.
+    let transition1 = nl.or(go, mx_done);
+    let transition2 = nl.or(my_done, comp_done);
+    let transition = nl.or(transition1, transition2);
+    let count_event = nl.or(adv_measure, comp_step);
+    for (i, &ff) in dwell.iter().enumerate() {
+        // next = transition ? 0 : (count_event ? inc : hold)
+        let counted = nl.mux(count_event, ff, dwell_inc[i]);
+        let next = nl.mux(transition, counted, zero);
+        nl.connect_dff(ff, next);
+    }
+
+    // Enables (paper §4 gating).
+    let analog_enable = measuring;
+    let counter_enable = measuring;
+    let arctan_enable = s_comp;
+    let sensor_select = s_my;
+
+    for (name, net) in [
+        ("idle", s_idle),
+        ("measure_x", s_mx),
+        ("measure_y", s_my),
+        ("compute", s_comp),
+        ("display", s_disp),
+        ("analog_enable", analog_enable),
+        ("arctan_enable", arctan_enable),
+    ] {
+        nl.mark_output(name, net);
+    }
+
+    SequencerNets {
+        netlist: nl,
+        start,
+        advance,
+        states: [s_idle, s_mx, s_my, s_comp, s_disp],
+        analog_enable,
+        counter_enable,
+        arctan_enable,
+        sensor_select,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::GateSim;
+    use crate::sequencer::{Sequencer, SequencerState};
+
+    fn state_of(sim: &GateSim, nets: &SequencerNets) -> SequencerState {
+        let bits: Vec<bool> = nets.states.iter().map(|&s| sim.value(s)).collect();
+        let hot: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hot.len(), 1, "one-hot violated: {bits:?}");
+        match hot[0] {
+            0 => SequencerState::Idle,
+            1 => SequencerState::MeasureX,
+            2 => SequencerState::MeasureY,
+            3 => SequencerState::Compute,
+            4 => SequencerState::Display,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn powers_up_in_idle() {
+        let nets = sequencer_netlist(4);
+        let mut sim = GateSim::new(nets.netlist.clone());
+        sim.set_input(nets.start, false);
+        sim.set_input(nets.advance, false);
+        sim.settle();
+        assert_eq!(state_of(&sim, &nets), SequencerState::Idle);
+        assert!(!sim.value(nets.analog_enable));
+        assert!(!sim.value(nets.arctan_enable));
+    }
+
+    #[test]
+    fn full_fix_walks_like_the_behavioral_fsm() {
+        let nets = sequencer_netlist(4);
+        let mut sim = GateSim::new(nets.netlist.clone());
+        let mut behavioral = Sequencer::new(4, 8);
+        sim.set_input(nets.start, false);
+        sim.set_input(nets.advance, false);
+        sim.settle();
+
+        // Start pulse.
+        sim.set_input(nets.start, true);
+        sim.settle();
+        sim.clock_edge();
+        sim.set_input(nets.start, false);
+        sim.settle();
+        behavioral.start_fix();
+        assert_eq!(state_of(&sim, &nets), behavioral.state());
+
+        // 4 + 4 measurement events + 8 compute cycles, checking lockstep.
+        sim.set_input(nets.advance, true);
+        sim.settle();
+        for _k in 0..16 {
+            sim.clock_edge();
+            behavioral.advance();
+            assert_eq!(state_of(&sim, &nets), behavioral.state(), "event {_k}");
+        }
+        assert_eq!(state_of(&sim, &nets), SequencerState::Display);
+    }
+
+    #[test]
+    fn enables_track_states() {
+        let nets = sequencer_netlist(2);
+        let mut sim = GateSim::new(nets.netlist.clone());
+        sim.set_input(nets.start, true);
+        sim.set_input(nets.advance, false);
+        sim.settle();
+        sim.clock_edge();
+        sim.set_input(nets.start, false);
+        sim.settle();
+        // MeasureX: analogue + counter on, X selected.
+        assert!(sim.value(nets.analog_enable));
+        assert!(sim.value(nets.counter_enable));
+        assert!(!sim.value(nets.arctan_enable));
+        assert!(!sim.value(nets.sensor_select), "X first");
+        // Two events → MeasureY.
+        sim.set_input(nets.advance, true);
+        sim.settle();
+        sim.clock_edge();
+        sim.clock_edge();
+        assert!(sim.value(nets.sensor_select), "Y second");
+        // Two more → Compute: analogue off, arctan on.
+        sim.clock_edge();
+        sim.clock_edge();
+        assert!(!sim.value(nets.analog_enable));
+        assert!(sim.value(nets.arctan_enable));
+    }
+
+    #[test]
+    fn restart_from_display() {
+        let nets = sequencer_netlist(1);
+        let mut sim = GateSim::new(nets.netlist.clone());
+        sim.set_input(nets.start, true);
+        sim.set_input(nets.advance, true);
+        sim.settle();
+        sim.clock_edge(); // -> MeasureX
+        sim.set_input(nets.start, false);
+        sim.settle();
+        for _ in 0..10 {
+            sim.clock_edge(); // 1+1 measure + 8 compute
+        }
+        assert_eq!(state_of(&sim, &nets), SequencerState::Display);
+        sim.set_input(nets.start, true);
+        sim.settle();
+        sim.clock_edge();
+        assert_eq!(state_of(&sim, &nets), SequencerState::MeasureX);
+    }
+
+    #[test]
+    fn advance_in_idle_is_ignored() {
+        let nets = sequencer_netlist(4);
+        let mut sim = GateSim::new(nets.netlist.clone());
+        sim.set_input(nets.start, false);
+        sim.set_input(nets.advance, true);
+        sim.settle();
+        for _ in 0..5 {
+            sim.clock_edge();
+        }
+        assert_eq!(state_of(&sim, &nets), SequencerState::Idle);
+    }
+
+    #[test]
+    fn gate_cost_is_modest() {
+        let nets = sequencer_netlist(8);
+        let t = nets.netlist.stats().transistors;
+        assert!(t < 1_500, "sequencer {t} transistors");
+        assert!(t > 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell counter")]
+    fn too_many_periods_rejected() {
+        let _ = sequencer_netlist(16);
+    }
+}

@@ -1,0 +1,214 @@
+//! Structural VHDL export.
+//!
+//! The paper's digital section *is* VHDL (Fig. 8 shows the arctan
+//! process). This module closes the loop in the other direction:
+//! any [`Netlist`] built by the synthesis helpers can be emitted as a
+//! structural VHDL-87 entity/architecture pair of the kind the Compass
+//! Design Automation tools consumed — gate instances over `std_logic`
+//! signals with a single clock. The output is checked for syntactic
+//! shape and signal consistency by the tests (we do not ship a VHDL
+//! parser; the consistency check walks the emitted text).
+
+use crate::gates::{GateKind, Netlist};
+use std::fmt::Write as _;
+
+/// Emits a structural VHDL entity for the netlist.
+///
+/// Inputs are named `i<n>`, internal nets `n<n>`, the clock `clk`;
+/// outputs get their [`Netlist::mark_output`] names (sanitised to VHDL
+/// identifiers).
+pub fn to_vhdl(netlist: &Netlist, entity: &str) -> String {
+    let mut ports: Vec<String> = Vec::new();
+    let mut has_dff = false;
+    for idx in 0..netlist.len() {
+        match netlist.kind(crate::gates::NetId(idx as u32)) {
+            GateKind::Input => ports.push(format!("    {} : in  std_logic", net_name(netlist, idx))),
+            GateKind::Dff => has_dff = true,
+            _ => {}
+        }
+    }
+    for (name, _) in netlist.outputs() {
+        ports.push(format!("    {} : out std_logic", sanitize(name)));
+    }
+    if has_dff {
+        ports.insert(0, "    clk : in  std_logic".to_string());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "library ieee;\nuse ieee.std_logic_1164.all;\n");
+    let _ = writeln!(out, "entity {entity} is\n  port (\n{}\n  );\nend {entity};\n", ports.join(";\n"));
+    let _ = writeln!(out, "architecture structural of {entity} is");
+
+    // Internal signal declarations (everything that is not an input).
+    let mut internals: Vec<String> = Vec::new();
+    for idx in 0..netlist.len() {
+        let id = crate::gates::NetId(idx as u32);
+        if !matches!(netlist.kind(id), GateKind::Input) {
+            internals.push(net_name(netlist, idx));
+        }
+    }
+    if !internals.is_empty() {
+        let _ = writeln!(out, "  signal {} : std_logic;", internals.join(", "));
+    }
+    let _ = writeln!(out, "begin");
+
+    for idx in 0..netlist.len() {
+        let id = crate::gates::NetId(idx as u32);
+        let me = net_name(netlist, idx);
+        let ins = netlist.gate_inputs(id);
+        let in_name = |k: usize| net_name(netlist, ins[k].index());
+        match netlist.kind(id) {
+            GateKind::Input => {}
+            GateKind::Const(v) => {
+                let _ = writeln!(out, "  {me} <= '{}';", if v { 1 } else { 0 });
+            }
+            GateKind::Not => {
+                let _ = writeln!(out, "  {me} <= not {};", in_name(0));
+            }
+            GateKind::And => {
+                let _ = writeln!(out, "  {me} <= {} and {};", in_name(0), in_name(1));
+            }
+            GateKind::Or => {
+                let _ = writeln!(out, "  {me} <= {} or {};", in_name(0), in_name(1));
+            }
+            GateKind::Nand => {
+                let _ = writeln!(out, "  {me} <= not ({} and {});", in_name(0), in_name(1));
+            }
+            GateKind::Nor => {
+                let _ = writeln!(out, "  {me} <= not ({} or {});", in_name(0), in_name(1));
+            }
+            GateKind::Xor => {
+                let _ = writeln!(out, "  {me} <= {} xor {};", in_name(0), in_name(1));
+            }
+            GateKind::Xnor => {
+                let _ = writeln!(out, "  {me} <= not ({} xor {});", in_name(0), in_name(1));
+            }
+            GateKind::Mux => {
+                let _ = writeln!(
+                    out,
+                    "  {me} <= {} when {} = '1' else {};",
+                    in_name(2),
+                    in_name(0),
+                    in_name(1)
+                );
+            }
+            GateKind::Dff => {
+                let _ = writeln!(
+                    out,
+                    "  process (clk) begin if rising_edge(clk) then {me} <= {}; end if; end process;",
+                    in_name(0)
+                );
+            }
+        }
+    }
+    // Output assignments.
+    for (name, net) in netlist.outputs() {
+        let src = net_name(netlist, net.index());
+        let dst = sanitize(name);
+        if dst != src {
+            let _ = writeln!(out, "  {dst} <= {src};");
+        }
+    }
+    let _ = writeln!(out, "end structural;");
+    out
+}
+
+fn net_name(netlist: &Netlist, idx: usize) -> String {
+    let id = crate::gates::NetId(idx as u32);
+    match netlist.kind(id) {
+        GateKind::Input => format!("i{idx}"),
+        _ => format!("n{idx}"),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 's');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{ripple_adder, updown_counter};
+
+    #[test]
+    fn combinational_netlist_emits_all_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.xor(a, b);
+        let y = nl.and(a, x);
+        let z = nl.mux(y, a, b);
+        nl.mark_output("result", z);
+        let vhdl = to_vhdl(&nl, "demo");
+        assert!(vhdl.contains("entity demo is"));
+        assert!(vhdl.contains("i0 : in  std_logic"));
+        assert!(vhdl.contains("result : out std_logic"));
+        assert!(vhdl.contains("xor"));
+        assert!(vhdl.contains("and"));
+        assert!(vhdl.contains("when"));
+        assert!(vhdl.contains("end structural;"));
+        // No clock for pure combinational logic.
+        assert!(!vhdl.contains("clk"));
+    }
+
+    #[test]
+    fn sequential_netlist_gets_a_clock() {
+        let (nl, _, _) = updown_counter(4);
+        let vhdl = to_vhdl(&nl, "updown4");
+        assert!(vhdl.contains("clk : in  std_logic"));
+        assert!(vhdl.contains("rising_edge(clk)"));
+        assert!(vhdl.contains("count0 : out std_logic"));
+    }
+
+    #[test]
+    fn every_used_signal_is_declared() {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus(4);
+        let b = nl.input_bus(4);
+        let s = ripple_adder(&mut nl, &a, &b);
+        for (i, &bit) in s.iter().enumerate() {
+            nl.mark_output(format!("sum{i}"), bit);
+        }
+        let vhdl = to_vhdl(&nl, "adder4");
+        // Walk all right-hand-side identifiers of the form nK/iK and
+        // check each appears in a declaration or port.
+        for token in vhdl.split(|c: char| !c.is_ascii_alphanumeric()) {
+            if token.len() > 1
+                && (token.starts_with('n') || token.starts_with('i'))
+                && token[1..].chars().all(|c| c.is_ascii_digit())
+            {
+                let declared = vhdl.contains(&format!("signal {token}"))
+                    || vhdl.contains(&format!("{token} :"))
+                    || vhdl.contains(&format!(", {token}"))
+                    || vhdl.contains(&format!("{token},"));
+                assert!(declared, "undeclared signal {token}");
+            }
+        }
+    }
+
+    #[test]
+    fn constants_become_literals() {
+        let mut nl = Netlist::new();
+        let one = nl.constant(true);
+        let zero = nl.constant(false);
+        let x = nl.or(one, zero);
+        nl.mark_output("x", x);
+        let vhdl = to_vhdl(&nl, "consts");
+        assert!(vhdl.contains("<= '1';"));
+        assert!(vhdl.contains("<= '0';"));
+    }
+
+    #[test]
+    fn sanitize_makes_valid_identifiers() {
+        assert_eq!(sanitize("count0"), "count0");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("0weird"), "s0weird");
+    }
+}

@@ -1,0 +1,140 @@
+//! Cell-level cost library for mapping the compass onto the array.
+//!
+//! Digital blocks arrive as exact transistor counts from the `rtl`
+//! crate's synthesised netlists. The **analogue** blocks (\[Haa95\]/\[Don94\]
+//! style analogue-on-digital-SoG design) are standard-cell estimates:
+//! mid-90s SoG analogue blocks are small in transistor count but commit
+//! extra sites for matching, guard rings and the metal-metal capacitors.
+
+use crate::fabric::{CapacitorPlan, PowerDomain};
+use crate::floorplan::Block;
+use fluxcomp_units::si::Farad;
+
+/// An analogue macro with its site cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalogMacro {
+    /// The triangular waveform generator of Fig. 7 — including its
+    /// visually dominant 10 pF metal capacitor.
+    TriangleOscillator,
+    /// One balanced-differential V-I converter channel.
+    ViConverter,
+    /// The two-comparator pulse-position detector.
+    PulseDetector,
+    /// The dc-offset measurement/correction servo.
+    OffsetCorrection,
+    /// Bias generation shared by the analogue section.
+    BiasGenerator,
+}
+
+impl AnalogMacro {
+    /// All macros of the paper's analogue section: one oscillator (the
+    /// multiplexing argument), two V-I channels, one detector, offset
+    /// correction and bias.
+    pub fn paper_analog_section() -> Vec<AnalogMacro> {
+        vec![
+            AnalogMacro::TriangleOscillator,
+            AnalogMacro::ViConverter,
+            AnalogMacro::ViConverter,
+            AnalogMacro::PulseDetector,
+            AnalogMacro::OffsetCorrection,
+            AnalogMacro::BiasGenerator,
+        ]
+    }
+
+    /// Active-device site cost (transistor pairs committed for devices,
+    /// matching and guard rings — not counting plate capacitors).
+    pub fn active_sites(self) -> u32 {
+        match self {
+            AnalogMacro::TriangleOscillator => 300,
+            AnalogMacro::ViConverter => 350,
+            AnalogMacro::PulseDetector => 250,
+            AnalogMacro::OffsetCorrection => 200,
+            AnalogMacro::BiasGenerator => 150,
+        }
+    }
+
+    /// On-chip capacitor the macro carries, if any.
+    pub fn capacitor(self) -> Option<Farad> {
+        match self {
+            AnalogMacro::TriangleOscillator => Some(Farad::new(10e-12)),
+            AnalogMacro::OffsetCorrection => Some(Farad::new(5e-12)),
+            _ => None,
+        }
+    }
+
+    /// Total committed sites: active devices plus capacitor shadow.
+    pub fn total_sites(self) -> u32 {
+        let cap_sites = self
+            .capacitor()
+            .map(|c| CapacitorPlan::for_value(c).sites())
+            .unwrap_or(0);
+        self.active_sites() + cap_sites
+    }
+
+    /// The macro as a placeable block.
+    pub fn to_block(self) -> Block {
+        let name = match self {
+            AnalogMacro::TriangleOscillator => "osc_triangle",
+            AnalogMacro::ViConverter => "vi_converter",
+            AnalogMacro::PulseDetector => "pulse_detector",
+            AnalogMacro::OffsetCorrection => "offset_correction",
+            AnalogMacro::BiasGenerator => "bias_generator",
+        };
+        Block::new(name, self.total_sites(), PowerDomain::Analog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillator_is_dominated_by_its_capacitor() {
+        // Fig. 7: the 10 pF capacitor is "clearly visible in the upper
+        // half of the picture" — i.e. it is comparable to or larger than
+        // the active area.
+        let osc = AnalogMacro::TriangleOscillator;
+        let cap_sites = CapacitorPlan::for_value(osc.capacitor().unwrap()).sites();
+        assert!(cap_sites >= osc.active_sites());
+        assert_eq!(osc.total_sites(), osc.active_sites() + cap_sites);
+    }
+
+    #[test]
+    fn paper_section_has_one_oscillator_two_vi() {
+        let section = AnalogMacro::paper_analog_section();
+        let oscs = section
+            .iter()
+            .filter(|m| **m == AnalogMacro::TriangleOscillator)
+            .count();
+        let vis = section
+            .iter()
+            .filter(|m| **m == AnalogMacro::ViConverter)
+            .count();
+        assert_eq!(oscs, 1, "multiplexing means one oscillator");
+        assert_eq!(vis, 2, "one V-I per sensor");
+    }
+
+    #[test]
+    fn whole_analog_section_under_15_percent_of_a_quarter() {
+        // The paper's claim (C10, analogue half).
+        let total: u32 = AnalogMacro::paper_analog_section()
+            .iter()
+            .map(|m| m.total_sites())
+            .sum();
+        assert!(
+            (total as f64) < 0.15 * crate::fabric::SITES_PER_QUARTER as f64,
+            "analog section {total} sites ≥ 15 % of a quarter"
+        );
+        // …but not trivially small either (sanity against under-modelling).
+        assert!(total > 2_500);
+    }
+
+    #[test]
+    fn blocks_are_analog_domain() {
+        for m in AnalogMacro::paper_analog_section() {
+            let b = m.to_block();
+            assert_eq!(b.domain, PowerDomain::Analog);
+            assert_eq!(b.sites, m.total_sites());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Global-routing feasibility estimation.
+//!
+//! The fishbone SoG routes in two metal layers, one of which also forms
+//! the capacitor plates and the power fishbone — horizontal track supply
+//! is the scarce resource. This module estimates routing demand from a
+//! [`DetailedPlacement`]'s net bounding boxes and checks it against a
+//! per-row track capacity: the quantitative backbone of the ~30 %
+//! utilisation figure the floorplan uses (experiment E6's sweep shows
+//! what happens when you assume better).
+
+use crate::placement::DetailedPlacement;
+
+/// The routing resource model of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingModel {
+    /// Horizontal routing tracks available over each cell row.
+    pub tracks_per_row: u32,
+}
+
+impl RoutingModel {
+    /// A two-metal mid-90s SoG: roughly a dozen usable horizontal
+    /// tracks per row once power and capacitor shadows are taken out.
+    pub fn two_metal_sog() -> Self {
+        Self { tracks_per_row: 12 }
+    }
+}
+
+impl Default for RoutingModel {
+    fn default() -> Self {
+        Self::two_metal_sog()
+    }
+}
+
+/// The outcome of a routability analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingReport {
+    /// Estimated track demand per row (nets whose bounding box spans
+    /// the row).
+    pub demand_per_row: Vec<u32>,
+    /// The capacity each row offers.
+    pub capacity: u32,
+    /// Rows whose demand exceeds capacity.
+    pub overflowed_rows: Vec<u32>,
+}
+
+impl RoutingReport {
+    /// `true` when every row fits its demand.
+    pub fn routable(&self) -> bool {
+        self.overflowed_rows.is_empty()
+    }
+
+    /// Peak demand over all rows.
+    pub fn peak_demand(&self) -> u32 {
+        self.demand_per_row.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Worst overflow ratio (peak demand / capacity).
+    pub fn congestion_ratio(&self) -> f64 {
+        self.peak_demand() as f64 / self.capacity as f64
+    }
+}
+
+impl RoutingModel {
+    /// Analyses a placement: per-row demand vs capacity.
+    pub fn analyze(&self, placement: &DetailedPlacement) -> RoutingReport {
+        // Reuse the placement's per-row congestion counting, but keep a
+        // full vector rather than the maximum.
+        let rows = placement_row_count(placement);
+        let mut demand = vec![0u32; rows as usize];
+        for net in placement_nets(placement) {
+            if net.len() < 2 {
+                continue;
+            }
+            let min_y = net.iter().map(|&c| placement.site(c).row).min().unwrap();
+            let max_y = net.iter().map(|&c| placement.site(c).row).max().unwrap();
+            for r in min_y..=max_y {
+                demand[r as usize] += 1;
+            }
+        }
+        let overflowed_rows = demand
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d > self.tracks_per_row)
+            .map(|(r, _)| r as u32)
+            .collect();
+        RoutingReport {
+            demand_per_row: demand,
+            capacity: self.tracks_per_row,
+            overflowed_rows,
+        }
+    }
+}
+
+// -- placement introspection helpers -----------------------------------------
+// (kept here so the placement type stays free of routing concepts)
+
+fn placement_row_count(p: &DetailedPlacement) -> u32 {
+    (0..p.cells().len())
+        .map(|i| p.site(i).row)
+        .max()
+        .map(|r| r + 1)
+        .unwrap_or(0)
+}
+
+fn placement_nets(p: &DetailedPlacement) -> Vec<Vec<usize>> {
+    p.net_cell_lists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{DetailedPlacement, PlaceCell, PlaceNet};
+
+    fn local_nets(n: usize) -> (Vec<PlaceCell>, Vec<PlaceNet>) {
+        let cells = (0..n).map(|k| PlaceCell::new(format!("c{k}"), 1)).collect();
+        let nets = (0..n - 1)
+            .map(|k| PlaceNet {
+                cells: vec![k, k + 1],
+            })
+            .collect();
+        (cells, nets)
+    }
+
+    #[test]
+    fn local_placement_is_routable() {
+        let (cells, nets) = local_nets(16);
+        let p = DetailedPlacement::initial(4, 4, cells, nets);
+        let report = RoutingModel::two_metal_sog().analyze(&p);
+        assert!(report.routable(), "demand {:?}", report.demand_per_row);
+        assert!(report.congestion_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn dense_crossing_nets_overflow() {
+        // Every cell in row 0 talks to every cell in the last row: the
+        // middle rows carry all of it.
+        let n = 32;
+        let cells: Vec<PlaceCell> = (0..n).map(|k| PlaceCell::new(format!("c{k}"), 1)).collect();
+        let mut nets = Vec::new();
+        for a in 0..8 {
+            for b in 24..32 {
+                nets.push(PlaceNet { cells: vec![a, b] });
+            }
+        }
+        let p = DetailedPlacement::initial(4, 8, cells, nets);
+        let model = RoutingModel::two_metal_sog();
+        let report = model.analyze(&p);
+        assert!(!report.routable());
+        assert!(report.peak_demand() > model.tracks_per_row);
+        assert!(report.congestion_ratio() > 1.0);
+        // The middle rows are the congested ones.
+        assert!(report.overflowed_rows.contains(&1) || report.overflowed_rows.contains(&2));
+    }
+
+    #[test]
+    fn improvement_reduces_demand() {
+        // Scrambled connectivity: nets connect k and (k+7)%n.
+        let n = 24;
+        let cells: Vec<PlaceCell> = (0..n).map(|k| PlaceCell::new(format!("c{k}"), 1)).collect();
+        let nets: Vec<PlaceNet> = (0..n)
+            .map(|k| PlaceNet {
+                cells: vec![k, (k + 7) % n],
+            })
+            .collect();
+        let mut p = DetailedPlacement::initial(6, 4, cells, nets);
+        let model = RoutingModel::two_metal_sog();
+        let before = model.analyze(&p).demand_per_row.iter().sum::<u32>();
+        p.improve(10);
+        let after = model.analyze(&p).demand_per_row.iter().sum::<u32>();
+        assert!(after <= before, "demand grew: {before} -> {after}");
+    }
+
+    #[test]
+    fn more_tracks_make_dense_designs_routable() {
+        let n = 32;
+        let cells: Vec<PlaceCell> = (0..n).map(|k| PlaceCell::new(format!("c{k}"), 1)).collect();
+        let mut nets = Vec::new();
+        for a in 0..8 {
+            for b in 24..32 {
+                nets.push(PlaceNet { cells: vec![a, b] });
+            }
+        }
+        let p = DetailedPlacement::initial(4, 8, cells, nets);
+        assert!(!RoutingModel { tracks_per_row: 12 }.analyze(&p).routable());
+        assert!(RoutingModel { tracks_per_row: 80 }.analyze(&p).routable());
+    }
+}

@@ -1,0 +1,115 @@
+//! Engineering-notation formatting.
+//!
+//! Reports throughout the workspace quote component values the way a
+//! datasheet would: `12.5 MΩ`, `10 pF`, `4.194304 MHz`. [`eng`] formats
+//! any value with an SI prefix chosen so the mantissa falls in
+//! `[1, 1000)`, with a configurable number of significant digits.
+
+/// SI prefixes from 10⁻¹⁵ to 10¹⁵, and their exponents.
+const PREFIXES: [(i32, &str); 11] = [
+    (-15, "f"),
+    (-12, "p"),
+    (-9, "n"),
+    (-6, "µ"),
+    (-3, "m"),
+    (0, ""),
+    (3, "k"),
+    (6, "M"),
+    (9, "G"),
+    (12, "T"),
+    (15, "P"),
+];
+
+/// Formats `value` with an engineering prefix and `sig_digits`
+/// significant digits, followed by `unit`.
+///
+/// Values outside the prefix table fall back to scientific notation.
+/// Zero, NaN and infinities format plainly.
+///
+/// # Examples
+///
+/// ```
+/// use fluxcomp_units::eng::eng;
+///
+/// assert_eq!(eng(12.5e6, "Ω", 3), "12.5 MΩ");
+/// assert_eq!(eng(10e-12, "F", 3), "10.0 pF");
+/// assert_eq!(eng(4_194_304.0, "Hz", 7), "4.194304 MHz");
+/// assert_eq!(eng(0.0, "V", 3), "0 V");
+/// ```
+pub fn eng(value: f64, unit: &str, sig_digits: u32) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let magnitude = value.abs();
+    let exponent = magnitude.log10().floor() as i32;
+    let eng_exp = (exponent.div_euclid(3)) * 3;
+    let prefix = PREFIXES.iter().find(|&&(e, _)| e == eng_exp);
+    match prefix {
+        Some(&(e, p)) => {
+            let mantissa = value / 10f64.powi(e);
+            // Digits after the point: sig_digits minus integer digits.
+            let int_digits = if mantissa.abs() >= 100.0 {
+                3
+            } else if mantissa.abs() >= 10.0 {
+                2
+            } else {
+                1
+            };
+            let decimals = (sig_digits as i32 - int_digits).max(0) as usize;
+            format!("{mantissa:.decimals$} {p}{unit}")
+        }
+        None => format!("{value:e} {unit}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_component_values() {
+        assert_eq!(eng(12.5e6, "Ω", 3), "12.5 MΩ");
+        assert_eq!(eng(10e-12, "F", 3), "10.0 pF");
+        assert_eq!(eng(400e-12, "F", 3), "400 pF");
+        assert_eq!(eng(12e-3, "A", 2), "12 mA");
+        assert_eq!(eng(8_000.0, "Hz", 2), "8.0 kHz");
+        assert_eq!(eng(4_194_304.0, "Hz", 7), "4.194304 MHz");
+        assert_eq!(eng(77.0, "Ω", 2), "77 Ω");
+    }
+
+    #[test]
+    fn negative_values() {
+        assert_eq!(eng(-6e-3, "A", 2), "-6.0 mA");
+    }
+
+    #[test]
+    fn boundaries_pick_the_right_prefix() {
+        assert_eq!(eng(999.0, "V", 3), "999 V");
+        assert_eq!(eng(1_000.0, "V", 3), "1.00 kV");
+        assert_eq!(eng(0.999e-6, "F", 3), "999 nF");
+        assert_eq!(eng(1e-6, "F", 3), "1.00 µF");
+    }
+
+    #[test]
+    fn degenerate_values() {
+        assert_eq!(eng(0.0, "V", 3), "0 V");
+        assert_eq!(eng(f64::INFINITY, "V", 3), "inf V");
+        assert!(eng(f64::NAN, "V", 3).contains("NaN"));
+    }
+
+    #[test]
+    fn out_of_table_falls_back_to_scientific() {
+        let s = eng(1e20, "Hz", 3);
+        assert!(s.contains('e'), "{s}");
+    }
+
+    #[test]
+    fn significant_digits_respected() {
+        assert_eq!(eng(1.23456e3, "V", 5), "1.2346 kV");
+        assert_eq!(eng(123.456e3, "V", 4), "123.5 kV");
+        assert_eq!(eng(123.456e3, "V", 2), "123 kV"); // never below int digits
+    }
+}

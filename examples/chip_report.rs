@@ -1,0 +1,34 @@
+//! The Sea-of-Gates occupancy report (paper §2 / experiment E6):
+//! maps the synthesised digital inventory and the analogue macros onto
+//! the 200k-transistor fishbone array and prints the floorplan —
+//! the reproduction of "the digital part occupies 3 quarters fully and
+//! the analogue part 1 quarter for less than 15 %".
+//!
+//! ```text
+//! cargo run --example chip_report
+//! ```
+
+use fluxcomp::compass::chip::paper_chip;
+use fluxcomp::rtl::synth::{full_compass_inventory, inventory_total};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("digital-section transistor inventory (synthesised + estimated):\n");
+    let inventory = full_compass_inventory();
+    for entry in &inventory {
+        println!(
+            "  {:<28} {:>7} transistors {}",
+            entry.name,
+            entry.transistors,
+            if entry.synthesized { "(netlist)" } else { "(estimate)" }
+        );
+    }
+    println!(
+        "  {:<28} {:>7} transistors\n",
+        "TOTAL",
+        inventory_total(&inventory)
+    );
+
+    let report = paper_chip()?;
+    println!("{}", report.render());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! The digital implementation flow, end to end: synthesise the Fig. 8
+//! CORDIC kernel to gates, simulate it event-driven, equivalence-check
+//! it against the behavioural RTL, and floor-plan the result — the
+//! software rendition of the paper's Compass-Design-Automation + Ocean
+//! flow.
+//!
+//! ```text
+//! cargo run --release --example gate_level_flow
+//! ```
+
+use fluxcomp::rtl::cordic::CordicArctan;
+use fluxcomp::rtl::cordic_netlist::cordic_kernel_netlist;
+use fluxcomp::rtl::netsim::GateSim;
+use fluxcomp::sog::fabric::PowerDomain;
+use fluxcomp::sog::floorplan::{Block, Floorplan};
+use fluxcomp::units::Degrees;
+
+fn main() {
+    println!("1. synthesis: unrolled 8-iteration CORDIC kernel, 24-bit datapath");
+    let nets = cordic_kernel_netlist(24, 18, 8);
+    let stats = nets.netlist.stats();
+    println!(
+        "   {} gates, {} flip-flops, {} transistors\n",
+        stats.combinational, stats.flip_flops, stats.transistors
+    );
+
+    println!("2. gate-level simulation + equivalence vs the behavioural RTL:");
+    let mut sim = GateSim::new(nets.netlist.clone());
+    let cordic = CordicArctan::paper();
+    let mut checked = 0;
+    let mut worst = 0.0f64;
+    for k in (0..900).step_by(45) {
+        let truth = k as f64 / 10.0;
+        let x = (20_000.0 * Degrees::new(truth).cos()).round() as i64;
+        let y = (20_000.0 * Degrees::new(truth).sin()).round() as i64;
+        if x <= 0 || y < 0 {
+            continue;
+        }
+        sim.set_bus(&nets.x_in, x);
+        sim.set_bus(&nets.y_in, y);
+        sim.settle();
+        let gate_angle = sim.bus_value_signed(&nets.angle_out);
+        let rtl_angle = cordic.first_quadrant_q8(x, y);
+        assert_eq!(gate_angle, rtl_angle, "equivalence failure at {truth}°");
+        let err = (gate_angle as f64 / 256.0 - truth).abs();
+        worst = worst.max(err);
+        checked += 1;
+        println!(
+            "   {truth:>5.1}° -> gate {:>8.3}°  rtl {:>8.3}°  (match)",
+            gate_angle as f64 / 256.0,
+            rtl_angle as f64 / 256.0
+        );
+    }
+    println!("   {checked} vectors checked, worst angle residual {worst:.3}°\n");
+
+    println!("3. activity: {} evaluation events so far\n", sim.events());
+
+    println!("4. floorplan the kernel onto a Sea-of-Gates quarter:");
+    let mut fp = Floorplan::fishbone();
+    // Regular datapaths route far better than random logic; 0.55 is a
+    // fair utilisation for a bit-sliced CORDIC (vs 0.30 chip average).
+    let block = Block::from_transistors(
+        "cordic_kernel",
+        stats.transistors,
+        0.55,
+        PowerDomain::Digital,
+    );
+    match fp.place(block) {
+        Ok(q) => println!(
+            "   placed in quarter {q}; occupancy {:.1} %",
+            fp.array().quarters()[q].occupancy() * 100.0
+        ),
+        Err(e) => println!("   does not fit: {e}"),
+    }
+}

@@ -1,0 +1,107 @@
+//! A production line for compass modules: manufacture a batch with
+//! sampled process variation plus occasional assembly defects, push
+//! every unit through the three-stage test flow, and print the yield
+//! Pareto — the manufacturing view of the paper's "broad
+//! specifications" design philosophy.
+//!
+//! ```text
+//! cargo run --release --example production_line
+//! ```
+
+use fluxcomp::compass::production::{production_test, RejectReason};
+use fluxcomp::compass::CompassConfig;
+use fluxcomp::fluxgate::core_model::CoreModel;
+use fluxcomp::mcm::substrate::{Fault, McmAssembly};
+use fluxcomp::msim::montecarlo::{run_monte_carlo, Tolerance};
+use fluxcomp::units::{eng, Ampere, Degrees};
+
+fn main() {
+    const BATCH: usize = 40;
+    println!("manufacturing a batch of {BATCH} compass modules…\n");
+
+    // Process variation per unit: H_K, drive amplitude, comparator
+    // offset, gain mismatch, misalignment — the X3 tolerance set.
+    let tolerances = [
+        Tolerance::Gaussian { rel_sigma: 0.05 },
+        Tolerance::Gaussian { rel_sigma: 0.02 },
+        Tolerance::Gaussian { rel_sigma: 0.04 },
+        Tolerance::Gaussian { rel_sigma: 0.01 },
+        Tolerance::Gaussian { rel_sigma: 0.01 },
+    ];
+
+    let mut shipped = 0usize;
+    let mut rej_interconnect = 0usize;
+    let mut rej_bist = 0usize;
+    let mut rej_functional = 0usize;
+
+    // Drive the batch through the Monte-Carlo sampler so each unit's
+    // process corner is reproducible; the metric we record is the test
+    // outcome encoded as a small integer.
+    let result = run_monte_carlo(
+        &tolerances,
+        BATCH,
+        0xFAB,
+        |factors: &Vec<f64>| {
+            // Build the unit.
+            let mut cfg = CompassConfig::paper_design();
+            cfg.pair.element.core = CoreModel::anhysteretic(
+                cfg.pair.element.core.bsat(),
+                cfg.pair.element.core.hk() * factors[0],
+            );
+            cfg.frontend.excitation = cfg
+                .frontend
+                .excitation
+                .with_amplitude_pp(Ampere::new(12e-3 * factors[1]));
+            cfg.frontend.detector.offset = fluxcomp::units::Volt::new((factors[2] - 1.0) * 0.05);
+            cfg.pair.gain_mismatch = factors[3];
+            cfg.pair.misalignment = Degrees::new((factors[4] - 1.0) * 20.0);
+            cfg.frontend.sensor = cfg.pair.element;
+
+            // Occasional assembly defects (roughly a fifth of modules
+            // get an open or a short), deterministically derived from
+            // the sampled factors so the run is reproducible.
+            let defect_dice = (factors[0] * 1e6) as u64 % 10;
+            let mut module = McmAssembly::paper_module();
+            if defect_dice == 3 {
+                module.inject(Fault::Open {
+                    net: (factors[1] * 1e6) as usize % 9,
+                });
+            } else if defect_dice == 7 {
+                let a = (factors[2] * 1e6) as usize % 8;
+                module.inject(Fault::Short { a, b: a + 1 });
+            }
+
+            let outcome = production_test(&module, &cfg);
+            match outcome.reject {
+                None => 0.0,
+                Some(RejectReason::Interconnect { .. }) => 1.0,
+                Some(RejectReason::SelfTest { .. }) => 2.0,
+                Some(RejectReason::Functional { .. }) => 3.0,
+            }
+        },
+        |m| m == 0.0,
+    );
+
+    for &m in &result.metrics {
+        match m as u32 {
+            0 => shipped += 1,
+            1 => rej_interconnect += 1,
+            2 => rej_bist += 1,
+            _ => rej_functional += 1,
+        }
+    }
+
+    println!("test-flow Pareto over {BATCH} units:");
+    println!("  shipped:               {shipped:>3}  ({:.0} %)", 100.0 * shipped as f64 / BATCH as f64);
+    println!("  rejected, interconnect: {rej_interconnect:>2}  (assembly opens/shorts, diagnosed)");
+    println!("  rejected, self-test:    {rej_bist:>2}  (drive/detector faults)");
+    println!("  rejected, functional:   {rej_functional:>2}  (out-of-spec accuracy)");
+    println!();
+    println!(
+        "context: excitation {} at {}, counter clock {}, spec {} of heading",
+        eng(12e-3, "A", 2),
+        eng(8_000.0, "Hz", 2),
+        eng(4_194_304.0, "Hz", 7),
+        "1°"
+    );
+}

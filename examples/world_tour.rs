@@ -1,0 +1,44 @@
+//! The field-magnitude insensitivity claim (paper §4 / experiment E4):
+//! "the calculation method is insensitive to local variations of the
+//! magnitude of the earth's magnetic field, which is necessary since the
+//! magnitude varies between 25 µT in South America and 65 µT near the
+//! south pole."
+//!
+//! This example carries the compass to every predefined location and
+//! sweeps headings at each — the accuracy should stay within the 1° spec
+//! wherever enough *horizontal* field remains.
+//!
+//! ```text
+//! cargo run --release --example world_tour
+//! ```
+
+use fluxcomp::compass::{evaluate::sweep_headings, Compass, CompassConfig};
+use fluxcomp::fluxgate::earth::Location;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("world tour: heading accuracy vs local field magnitude\n");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>6}",
+        "location", "B_total", "B_horiz", "max err", "rms err", "spec"
+    );
+    for location in Location::ALL {
+        let mut compass = Compass::new(CompassConfig::at_location(location))?;
+        let stats = sweep_headings(&mut compass, 16);
+        let field = compass.config().field;
+        println!(
+            "{:<14} {:>6.0}µT {:>8.1}µT {:>9.2}° {:>9.2}° {:>6}",
+            format!("{location:?}"),
+            field.total().as_microtesla(),
+            field.horizontal_magnitude().as_microtesla(),
+            stats.max_error.value(),
+            stats.rms_error.value(),
+            if stats.meets_one_degree_spec() { "OK" } else { "MISS" }
+        );
+    }
+    println!(
+        "\nNote: near the magnetic pole the dip angle leaves only ~5.7 µT of\n\
+         horizontal field — counter quantisation grows accordingly; everywhere\n\
+         else the ratio-based CORDIC keeps the heading inside the paper's 1°."
+    );
+    Ok(())
+}

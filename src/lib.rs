@@ -1,0 +1,48 @@
+//! # fluxcomp
+//!
+//! Umbrella crate for the *fluxcomp* workspace — a from-scratch Rust
+//! reproduction of the smart-sensor system described in
+//! R. J. W. T. Tangelder, G. Diemel and H. G. Kerkhoff,
+//! *"Smart Sensor System Application: An Integrated Compass"* (ED&TC/DATE
+//! 1997): a fully integrable electronic compass built from micro-machined
+//! fluxgate sensors, a pulse-position analogue front-end and a digital
+//! back-end (up/down counter + CORDIC arctangent + watch logic), mapped
+//! onto a Sea-of-Gates array and combined with the sensors on an MCM.
+//!
+//! This crate simply re-exports the workspace members under stable names:
+//!
+//! * [`units`] — physical quantities, angles, fixed-point formats
+//! * [`msim`] — the mixed-signal (analogue + event-driven digital)
+//!   simulation kernel standing in for Anacad ELDO
+//! * [`fluxgate`] — sensor physics (saturable core, pickup EMF, earth field)
+//! * [`afe`] — analogue front-end (oscillator, V-I converters, detector,
+//!   second-harmonic baseline)
+//! * [`rtl`] — digital back-end (counter, CORDIC of Fig. 8, watch, LCD,
+//!   gate-level netlist simulator)
+//! * [`sog`] — the fishbone Sea-of-Gates fabric model
+//! * [`mcm`] — multi-chip module with boundary scan
+//! * [`compass`] — the integrated system of Fig. 1 (the paper's
+//!   contribution)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fluxcomp::compass::{Compass, CompassConfig};
+//! use fluxcomp::units::Degrees;
+//!
+//! # fn main() -> Result<(), fluxcomp::compass::BuildError> {
+//! let mut compass = Compass::new(CompassConfig::default())?;
+//! let reading = compass.measure_heading(Degrees::new(123.0));
+//! assert!(reading.heading.angular_distance(Degrees::new(123.0)).value() <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use fluxcomp_afe as afe;
+pub use fluxcomp_compass as compass;
+pub use fluxcomp_fluxgate as fluxgate;
+pub use fluxcomp_mcm as mcm;
+pub use fluxcomp_msim as msim;
+pub use fluxcomp_rtl as rtl;
+pub use fluxcomp_sog as sog;
+pub use fluxcomp_units as units;

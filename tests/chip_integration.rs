@@ -1,0 +1,149 @@
+//! Chip-level integration: the synthesised netlists, the Sea-of-Gates
+//! mapping and the gate-level simulator agree with the behavioural RTL.
+
+use fluxcomp::compass::chip::paper_chip;
+use fluxcomp::rtl::cordic::CordicArctan;
+use fluxcomp::rtl::netsim::GateSim;
+use fluxcomp::rtl::synth::{cordic_step, updown_counter};
+use fluxcomp::sog::fabric::PowerDomain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The gate-level CORDIC micro-rotation tracks the Fig. 8 arithmetic for
+/// a random vector soup — the equivalence check a synthesis flow would
+/// run between RTL and netlist.
+#[test]
+fn gate_level_cordic_step_equivalence() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in [0u32, 1, 2, 4, 7] {
+        let (nl, x_in, y_in, x_out, y_out, rotate) = cordic_step(28, i);
+        let mut sim = GateSim::new(nl);
+        for _ in 0..200 {
+            let x: i64 = rng.gen_range(0..1 << 26);
+            let y: i64 = rng.gen_range(0..1 << 26);
+            sim.set_bus(&x_in, x);
+            sim.set_bus(&y_in, y);
+            sim.settle();
+            let (bx, by, brot) = if y >= (x >> i) {
+                (x + (y >> i), y - (x >> i), true)
+            } else {
+                (x, y, false)
+            };
+            assert_eq!(sim.bus_value_signed(&x_out), bx, "x mismatch at i={i}");
+            assert_eq!(sim.bus_value_signed(&y_out), by, "y mismatch at i={i}");
+            assert_eq!(sim.value(rotate), brot, "rotate mismatch at i={i}");
+        }
+    }
+}
+
+/// Chaining gate-level micro-rotations end to end reproduces the
+/// behavioural CORDIC's first-quadrant kernel exactly (the shifts
+/// operate on the prescaled registers, as in Fig. 8).
+#[test]
+fn chained_gate_level_stages_match_behavioral_kernel() {
+    let cordic = CordicArctan::paper();
+    let mut rng = StdRng::seed_from_u64(7);
+    // Build one simulator per iteration index.
+    let stages: Vec<_> = (0..8)
+        .map(|i| {
+            let (nl, x_in, y_in, x_out, y_out, rotate) = cordic_step(32, i);
+            (GateSim::new(nl), x_in, y_in, x_out, y_out, rotate)
+        })
+        .collect();
+    for _ in 0..50 {
+        let x0: i64 = rng.gen_range(1..4_000);
+        let y0: i64 = rng.gen_range(0..4_000);
+        // Gate level: walk the prescaled registers through the stages and
+        // accumulate the ROM angle for every asserted `rotate`.
+        let mut x = x0 << 7;
+        let mut y = y0 << 7;
+        let mut angle_q8 = 0i64;
+        let mut sims = stages.clone();
+        for (i, (sim, x_in, y_in, x_out, y_out, rotate)) in sims.iter_mut().enumerate() {
+            sim.set_bus(x_in, x);
+            sim.set_bus(y_in, y);
+            sim.settle();
+            x = sim.bus_value_signed(x_out);
+            y = sim.bus_value_signed(y_out);
+            if sim.value(*rotate) {
+                angle_q8 += cordic.rom().entry(i as u32);
+            }
+        }
+        let behavioral = cordic.first_quadrant_q8(x0, y0);
+        assert_eq!(angle_q8, behavioral, "kernel mismatch for ({x0},{y0})");
+    }
+}
+
+/// The synthesised counter equals the behavioural counter over long
+/// random stimulus with direction changes.
+#[test]
+fn gate_level_counter_long_equivalence() {
+    let (nl, up, state) = updown_counter(12);
+    let mut sim = GateSim::new(nl);
+    let mut behavioral = fluxcomp::rtl::counter::UpDownCounter::new(12);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut balance = 0i64;
+    for _ in 0..3_000 {
+        // Bias the stream to stay well inside the 12-bit range so the
+        // saturating behavioural model and wrapping netlist agree.
+        let dir = if balance > 1_000 {
+            false
+        } else if balance < -1_000 {
+            true
+        } else {
+            rng.gen()
+        };
+        balance += if dir { 1 } else { -1 };
+        sim.set_input(up, dir);
+        sim.settle();
+        sim.clock_edge();
+        behavioral.clock(dir);
+        assert_eq!(sim.bus_value_signed(&state), behavioral.value());
+    }
+}
+
+/// The full chip fits the paper's array and reproduces the shape of the
+/// occupancy claim: digital spans multiple quarters, analogue under
+/// 15 % of one, supplies separated.
+#[test]
+fn chip_fits_and_matches_occupancy_shape() {
+    let report = paper_chip().expect("fits the fishbone array");
+    assert!(report.digital_quarters > 1.5 && report.digital_quarters <= 3.0);
+    assert!(report.analog_occupancy < 0.15);
+    let array = report.floorplan.array();
+    assert!(array.quarters_in_domain(PowerDomain::Digital) >= 2);
+    assert_eq!(array.quarters_in_domain(PowerDomain::Analog), 1);
+    // No quarter hosts both supplies (checked structurally: every
+    // placement's quarter has the block's domain).
+    for p in report.floorplan.placements() {
+        assert_eq!(
+            array.quarters()[p.quarter].domain,
+            Some(p.block.domain),
+            "block {} crossed supplies",
+            p.block.name
+        );
+    }
+    // The whole thing is inside the 200k-transistor budget.
+    assert!(array.used_sites() <= 100_000);
+}
+
+/// Transistor accounting is conserved through the mapping: the digital
+/// sites committed equal the inventory divided by 2·utilisation (within
+/// per-block ceiling effects).
+#[test]
+fn site_accounting_conserved() {
+    let report = paper_chip().unwrap();
+    let digital_sites: u32 = report
+        .floorplan
+        .placements()
+        .iter()
+        .filter(|p| p.block.domain == PowerDomain::Digital)
+        .map(|p| p.block.sites)
+        .sum();
+    let expected = report.digital_transistors as f64 / 2.0 / report.utilization;
+    let slack = report.floorplan.placements().len() as f64; // ceil() per block
+    assert!(
+        (digital_sites as f64 - expected).abs() <= slack + 16.0,
+        "sites {digital_sites} vs expected {expected}"
+    );
+}
