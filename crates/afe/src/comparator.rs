@@ -127,12 +127,7 @@ mod tests {
 
     #[test]
     fn offset_shifts_effective_threshold() {
-        let mut c = Comparator::new(
-            Volt::new(1.0),
-            Volt::ZERO,
-            Volt::new(0.1),
-            Seconds::ZERO,
-        );
+        let mut c = Comparator::new(Volt::new(1.0), Volt::ZERO, Volt::new(0.1), Seconds::ZERO);
         // Effective input = v + 0.1, so switching happens at v = 0.9.
         assert!(!c.step(Volt::new(0.89)));
         assert!(c.step(Volt::new(0.91)));

@@ -113,7 +113,10 @@ impl FrontEnd {
             config.samples_per_period >= 16,
             "need at least 16 samples per period"
         );
-        assert!(config.measure_periods > 0, "need at least one measurement period");
+        assert!(
+            config.measure_periods > 0,
+            "need at least one measurement period"
+        );
         let sensor = Fluxgate::new(config.sensor);
         Self { config, sensor }
     }
@@ -131,8 +134,8 @@ impl FrontEnd {
     /// The peak excitation field the configured drive produces (after
     /// V-I compliance limiting).
     pub fn peak_excitation_field(&self) -> AmperePerMeter {
-        let demanded = self.config.excitation.amplitude_pp() / 2.0
-            + self.config.excitation.dc_offset().abs();
+        let demanded =
+            self.config.excitation.amplitude_pp() / 2.0 + self.config.excitation.dc_offset().abs();
         let delivered = self
             .config
             .vi
@@ -142,21 +145,36 @@ impl FrontEnd {
 
     /// Runs the transient readout with external axial field `h_ext` and
     /// returns the measured duty cycle plus all waveforms.
+    ///
+    /// Noise is seeded from the configured `noise_seed`; this call is a
+    /// pure function of the configuration and `h_ext`, so repeated runs
+    /// return bit-identical results.
     pub fn run(&self, h_ext: AmperePerMeter) -> FrontEndResult {
+        self.run_with_seed(h_ext, self.config.noise_seed)
+    }
+
+    /// Like [`run`](Self::run), but with an explicit noise seed.
+    ///
+    /// This is the entry point for repeat/Monte-Carlo studies that need
+    /// a *different* noise realisation per run while staying fully
+    /// deterministic: derive one seed per run (e.g. with
+    /// `fluxcomp_exec::derive_seed`) instead of mutating shared state.
+    pub fn run_with_seed(&self, h_ext: AmperePerMeter, noise_seed: u64) -> FrontEndResult {
         let cfg = &self.config;
         let period = 1.0 / cfg.excitation.frequency().value();
         let n = cfg.samples_per_period;
         let dt = period / n as f64;
         let total_periods = cfg.settle_periods + cfg.measure_periods;
+        let total_samples = total_periods * n;
 
         let mut detector = PulsePositionDetector::new(cfg.detector);
-        let mut noise = GaussianNoise::new(cfg.pickup_noise_rms, cfg.noise_seed);
+        let mut noise = GaussianNoise::new(cfg.pickup_noise_rms, noise_seed);
 
         let mut traces = TraceSet::new();
-        let ch_i = traces.add("i_exc");
-        let ch_ve = traces.add("v_exc");
-        let ch_vp = traces.add("v_pickup");
-        let ch_d = traces.add("detector");
+        let ch_i = traces.add_with_capacity("i_exc", total_samples);
+        let ch_ve = traces.add_with_capacity("v_exc", total_samples);
+        let ch_vp = traces.add_with_capacity("v_pickup", total_samples);
+        let ch_d = traces.add_with_capacity("detector", total_samples);
 
         let mut detector_samples = Vec::with_capacity(cfg.measure_periods * n);
         let mut clipped = false;
@@ -297,10 +315,10 @@ mod tests {
     fn noise_perturbs_but_does_not_break_readout() {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.pickup_noise_rms = 2e-3; // 2 mV RMS on ~58 mV pulses
-        // Size the hysteresis well above the noise (≫ 3σ both ways), as a
-        // real detector design would — otherwise comparator chatter inside
-        // a pulse releases the latch early (see the E1 hysteresis
-        // ablation, which sweeps this deliberately).
+                                     // Size the hysteresis well above the noise (≫ 3σ both ways), as a
+                                     // real detector design would — otherwise comparator chatter inside
+                                     // a pulse releases the latch early (see the E1 hysteresis
+                                     // ablation, which sweeps this deliberately).
         cfg.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
         cfg.measure_periods = 8;
         let fe = FrontEnd::new(cfg);

@@ -89,7 +89,10 @@ impl AnalogMux {
         excitation_period: Seconds,
         fraction: f64,
     ) -> u32 {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         let tau = self.settling_tau(inductance, sensor_resistance).value();
         let needed_time = -fraction.ln() * tau;
         (needed_time / excitation_period.value()).ceil().max(0.0) as u32
@@ -184,11 +187,7 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn bad_fraction_rejected() {
         let mux = AnalogMux::sog_switch();
-        let _ = mux.settle_periods_needed(
-            Henry::new(1e-3),
-            Ohm::new(77.0),
-            Seconds::new(125e-6),
-            1.5,
-        );
+        let _ =
+            mux.settle_periods_needed(Henry::new(1e-3), Ohm::new(77.0), Seconds::new(125e-6), 1.5);
     }
 }

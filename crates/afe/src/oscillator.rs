@@ -9,9 +9,9 @@
 //!   frequency, peak-to-peak amplitude and dc offset, with exact `value`
 //!   and `slope` evaluation (what the system-level experiments use);
 //! * [`RelaxationOscillator`] — the circuit view: cap + reference current
-//!   + window comparator, integrated in time, which *derives* the 8 kHz
-//!   frequency from the paper's component values and exposes the effect
-//!   of component tolerances.
+//!   plus a window comparator, integrated in time, which *derives* the
+//!   8 kHz frequency from the paper's component values and exposes the
+//!   effect of component tolerances.
 //!
 //! The oscillator's dc offset matters (the paper: "The linearity of the
 //! waveform is not very essential but the dc-offset is") because an
@@ -191,8 +191,8 @@ impl RelaxationOscillator {
     /// the frequency when `C` deviates by `tol` (e.g. `0.1` = +10 %).
     pub fn frequency_with_tolerance(&self, cap_tol: f64, r_tol: f64) -> Hertz {
         let mut osc = *self;
-        osc.capacitor = osc.capacitor * (1.0 + cap_tol);
-        osc.r_ext = osc.r_ext * (1.0 + r_tol);
+        osc.capacitor *= 1.0 + cap_tol;
+        osc.r_ext *= 1.0 + r_tol;
         osc.frequency()
     }
 }

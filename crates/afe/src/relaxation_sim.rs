@@ -83,7 +83,8 @@ pub fn simulate_relaxation(
         t = (k + 1) as f64 * dt.value();
     }
 
-    let measured_frequency = measure_frequency(traces.by_name("v_cap").expect("recorded"), v_low, v_high);
+    let measured_frequency =
+        measure_frequency(traces.by_name("v_cap").expect("recorded"), v_low, v_high);
     RelaxationRun {
         traces,
         measured_frequency,
@@ -129,18 +130,8 @@ mod tests {
     #[test]
     fn waveform_stays_inside_thresholds() {
         let osc = RelaxationOscillator::paper_values();
-        let run = simulate_relaxation(
-            &osc,
-            Seconds::ZERO,
-            Seconds::new(1e-3),
-            Seconds::new(20e-9),
-        );
-        let (lo, hi) = run
-            .traces
-            .by_name("v_cap")
-            .unwrap()
-            .value_range()
-            .unwrap();
+        let run = simulate_relaxation(&osc, Seconds::ZERO, Seconds::new(1e-3), Seconds::new(20e-9));
+        let (lo, hi) = run.traces.by_name("v_cap").unwrap().value_range().unwrap();
         // One integration step of overshoot is allowed.
         let step_v = 200e-9 / 10e-12 * 20e-9; // I/C × dt = 40 mV
         assert!(lo >= osc.v_low.value() - 2.0 * step_v, "lo = {lo}");
@@ -150,14 +141,10 @@ mod tests {
     #[test]
     fn comparator_delay_slows_the_oscillator() {
         let osc = RelaxationOscillator::paper_values();
-        let ideal = simulate_relaxation(
-            &osc,
-            Seconds::ZERO,
-            Seconds::new(2e-3),
-            Seconds::new(20e-9),
-        )
-        .measured_frequency
-        .unwrap();
+        let ideal =
+            simulate_relaxation(&osc, Seconds::ZERO, Seconds::new(2e-3), Seconds::new(20e-9))
+                .measured_frequency
+                .unwrap();
         let delayed = simulate_relaxation(
             &osc,
             Seconds::new(2e-6), // a slow comparator
@@ -183,13 +170,8 @@ mod tests {
     #[test]
     fn larger_capacitor_oscillates_slower() {
         let mut osc = RelaxationOscillator::paper_values();
-        osc.capacitor = osc.capacitor * 2.0;
-        let run = simulate_relaxation(
-            &osc,
-            Seconds::ZERO,
-            Seconds::new(2e-3),
-            Seconds::new(20e-9),
-        );
+        osc.capacitor *= 2.0;
+        let run = simulate_relaxation(&osc, Seconds::ZERO, Seconds::new(2e-3), Seconds::new(20e-9));
         let f = run.measured_frequency.unwrap().value();
         assert!((f - 4_000.0).abs() < 40.0, "doubled C: {f} Hz");
     }

@@ -17,7 +17,11 @@ use fluxcomp_units::si::Farad;
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("E10", "MCM boundary-scan interconnect test", "§2, [Oli96], claim C12");
+    banner(
+        "E10",
+        "MCM boundary-scan interconnect test",
+        "§2, [Oli96], claim C12",
+    );
 
     let module = McmAssembly::paper_module();
     let tester = InterconnectTester::new(module.nets().len());
@@ -55,14 +59,19 @@ fn print_experiment() {
 
     let mut chain = TapChain::new(&[9, 4, 4]); // SoG die + 2 sensor dies
     chain.reset();
-    chain.load_instructions(&[Instruction::Extest, Instruction::Bypass, Instruction::Bypass]);
+    chain.load_instructions(&[
+        Instruction::Extest,
+        Instruction::Bypass,
+        Instruction::Bypass,
+    ]);
     eprintln!(
         "  3-die TAP chain: scan path {} bits with only the SoG die in EXTEST (integrity check: {})",
         chain.scan_path_bits(),
         chain.measure_scan_path()
     );
     let bsdl = generate_bsdl(&module, "FLUXCOMP_MCM");
-    eprintln!("  BSDL description: {} lines, parsed back OK: {}",
+    eprintln!(
+        "  BSDL description: {} lines, parsed back OK: {}",
         bsdl.lines().count(),
         fluxcomp_mcm::parse_bsdl(&bsdl).is_some()
     );

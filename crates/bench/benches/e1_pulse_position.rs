@@ -22,7 +22,10 @@ fn print_experiment() {
     let fe = FrontEnd::new(FrontEndConfig::paper_design());
     let h_peak = fe.peak_excitation_field().value();
     eprintln!("  H_peak = {h_peak:.1} A/m; prediction: duty = 1/2 - H/(2*H_peak)");
-    eprintln!("  {:>8} {:>10} {:>12} {:>12}", "B [µT]", "H [A/m]", "duty", "predicted");
+    eprintln!(
+        "  {:>8} {:>10} {:>12} {:>12}",
+        "B [µT]", "H [A/m]", "duty", "predicted"
+    );
     for ut in [-40.0, -25.0, -15.0, -5.0, 0.0, 5.0, 15.0, 25.0, 40.0] {
         let h = microtesla_to_h(ut);
         let duty = fe.run(h).duty;

@@ -15,19 +15,34 @@ use fluxcomp_units::si::Ampere;
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("E2", "sensor waveforms and saturation impedance", "Fig. 4 / claim C3");
+    banner(
+        "E2",
+        "sensor waveforms and saturation impedance",
+        "Fig. 4 / claim C3",
+    );
 
     let fe = FrontEnd::new(FrontEndConfig::paper_design());
     let no_field = fe.run(AmperePerMeter::ZERO);
     let with_field = fe.run(microtesla_to_h(50.0));
 
     let range = |r: &fluxcomp_afe::frontend::FrontEndResult, name: &str| {
-        r.traces.by_name(name).and_then(|t| t.value_range()).unwrap()
+        r.traces
+            .by_name(name)
+            .and_then(|t| t.value_range())
+            .unwrap()
     };
     let (lo0, hi0) = range(&no_field, "v_pickup");
     let (lo1, hi1) = range(&with_field, "v_pickup");
-    eprintln!("  pickup pulses, no field:   {:.1} .. {:.1} mV", lo0 * 1e3, hi0 * 1e3);
-    eprintln!("  pickup pulses, 50 µT:      {:.1} .. {:.1} mV", lo1 * 1e3, hi1 * 1e3);
+    eprintln!(
+        "  pickup pulses, no field:   {:.1} .. {:.1} mV",
+        lo0 * 1e3,
+        hi0 * 1e3
+    );
+    eprintln!(
+        "  pickup pulses, 50 µT:      {:.1} .. {:.1} mV",
+        lo1 * 1e3,
+        hi1 * 1e3
+    );
 
     // Pulse positions (threshold crossings of the pickup voltage) shift
     // with the field — the visible effect in Fig. 4.

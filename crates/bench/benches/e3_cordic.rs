@@ -7,27 +7,31 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fluxcomp_bench::banner;
+use fluxcomp_exec::{par_map_range, ExecPolicy};
 use fluxcomp_rtl::cordic::CordicArctan;
 use fluxcomp_rtl::netsim::GateSim;
 use fluxcomp_rtl::synth::cordic_step;
 use fluxcomp_units::angle::Degrees;
 use std::hint::black_box;
 
-fn worst_error(iterations: u32, radius: f64) -> f64 {
+fn worst_error_par(iterations: u32, radius: f64, policy: &ExecPolicy) -> f64 {
     let c = CordicArctan::new(iterations);
-    let mut worst = 0.0f64;
-    for k in 0..1440 {
+    let errors = par_map_range(policy, 1440, |k| {
         let truth = k as f64 * 0.25;
         let x = (radius * Degrees::new(truth).cos()).round() as i64;
         let y = (radius * Degrees::new(truth).sin()).round() as i64;
         if x == 0 && y == 0 {
-            continue;
+            return 0.0;
         }
         let got = c.heading(x, y).expect("nonzero").heading;
         let reference = Degrees::atan2(y as f64, x as f64).normalized();
-        worst = worst.max(got.angular_distance(reference).value());
-    }
-    worst
+        got.angular_distance(reference).value()
+    });
+    errors.into_iter().fold(0.0f64, f64::max)
+}
+
+fn worst_error(iterations: u32, radius: f64) -> f64 {
+    worst_error_par(iterations, radius, &ExecPolicy::serial())
 }
 
 fn print_experiment() {
@@ -36,7 +40,10 @@ fn print_experiment() {
         "CORDIC accuracy vs iteration count (1440 headings, r = 2096)",
         "Fig. 8, claims C1/C8",
     );
-    eprintln!("  {:>11} {:>16} {:>16} {:>8}", "iterations", "worst err [°]", "bound [°]", "1° spec");
+    eprintln!(
+        "  {:>11} {:>16} {:>16} {:>8}",
+        "iterations", "worst err [°]", "bound [°]", "1° spec"
+    );
     for n in [1u32, 2, 4, 6, 8, 10, 12, 16] {
         let worst = worst_error(n, 2096.0);
         let bound = CordicArctan::new(n).error_bound().value();
@@ -65,6 +72,18 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("f64_atan2_reference", |b| {
         b.iter(|| black_box(Degrees::atan2(black_box(-983.0), black_box(1432.0))))
+    });
+
+    // The accuracy scan on the sweep engine: 1440 microsecond-scale
+    // CORDIC tasks per scan, so chunked self-scheduling (not task
+    // granularity) decides whether the pool pays off.
+    let serial = ExecPolicy::serial();
+    let auto = ExecPolicy::auto().with_chunk(64);
+    group.bench_function("accuracy_scan_1440_serial", |b| {
+        b.iter(|| black_box(worst_error_par(black_box(8), 2096.0, &serial)))
+    });
+    group.bench_function("accuracy_scan_1440_parallel", |b| {
+        b.iter(|| black_box(worst_error_par(black_box(8), 2096.0, &auto)))
     });
 
     // One gate-level micro-rotation through the event-driven simulator —

@@ -8,18 +8,26 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::calibration::Calibration;
-use fluxcomp_compass::evaluate::sweep_headings;
-use fluxcomp_compass::{Compass, CompassConfig};
+use fluxcomp_compass::evaluate::{sweep_headings, sweep_headings_par};
+use fluxcomp_compass::{Compass, CompassConfig, CompassDesign};
+use fluxcomp_exec::ExecPolicy;
 use fluxcomp_fluxgate::earth::{EarthField, Location, MagneticDisturbance};
 use fluxcomp_units::angle::Degrees;
 use fluxcomp_units::magnetics::Tesla;
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("E4", "heading accuracy vs local field magnitude", "§4, claim C9");
+    banner(
+        "E4",
+        "heading accuracy vs local field magnitude",
+        "§4, claim C9",
+    );
 
     eprintln!("  pure-magnitude sweep (horizontal field, 16 headings):");
-    eprintln!("  {:>8} {:>12} {:>12}", "B [µT]", "max err [°]", "rms err [°]");
+    eprintln!(
+        "  {:>8} {:>12} {:>12}",
+        "B [µT]", "max err [°]", "rms err [°]"
+    );
     for ut in [10.0, 15.0, 25.0, 40.0, 55.0, 65.0] {
         let mut cfg = CompassConfig::paper_design();
         cfg.field = EarthField::horizontal(Tesla::from_microtesla(ut));
@@ -33,11 +41,15 @@ fn print_experiment() {
     }
 
     eprintln!("\n  world tour (real inclination — only the horizontal part is usable):");
-    eprintln!("  {:>14} {:>9} {:>10} {:>12}", "location", "B [µT]", "B_h [µT]", "max err [°]");
+    eprintln!(
+        "  {:>14} {:>9} {:>10} {:>12}",
+        "location", "B [µT]", "B_h [µT]", "max err [°]"
+    );
+    let policy = ExecPolicy::auto();
     for location in Location::ALL {
-        let mut compass = Compass::new(CompassConfig::at_location(location)).expect("valid");
-        let stats = sweep_headings(&mut compass, 12);
-        let f = compass.config().field;
+        let design = CompassDesign::new(CompassConfig::at_location(location)).expect("valid");
+        let stats = sweep_headings_par(&design, 12, &policy);
+        let f = design.config().field;
         eprintln!(
             "  {:>14} {:>9.0} {:>10.1} {:>12.3}",
             format!("{location:?}"),
@@ -74,7 +86,13 @@ fn bench(c: &mut Criterion) {
 
     let mut compass = Compass::new(CompassConfig::paper_design()).expect("valid");
     group.bench_function("full_compass_fix", |b| {
-        b.iter(|| black_box(compass.measure_heading(black_box(Degrees::new(123.0))).heading))
+        b.iter(|| {
+            black_box(
+                compass
+                    .measure_heading(black_box(Degrees::new(123.0)))
+                    .heading,
+            )
+        })
     });
 
     let mut weak = Compass::new(CompassConfig::at_location(Location::SouthPole)).expect("valid");
@@ -82,6 +100,23 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(weak.measure_heading(black_box(Degrees::new(123.0))).heading))
     });
     group.finish();
+
+    // The acceptance sweep of the parallel engine: a full 360-point
+    // heading sweep, serial vs. one-worker-per-core. The two produce
+    // bit-identical AccuracyStats (tests/determinism.rs); here we time
+    // them against each other.
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid");
+    let serial = ExecPolicy::serial();
+    let auto = ExecPolicy::auto();
+    let mut sweep = c.benchmark_group("e4_sweep_360_headings");
+    sweep.sample_size(3);
+    sweep.bench_function("serial", |b| {
+        b.iter(|| black_box(sweep_headings_par(&design, 360, &serial)))
+    });
+    sweep.bench_function(&format!("parallel_{}_threads", auto.threads()), |b| {
+        b.iter(|| black_box(sweep_headings_par(&design, 360, &auto)))
+    });
+    sweep.finish();
 }
 
 criterion_group!(benches, bench);

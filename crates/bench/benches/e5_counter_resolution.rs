@@ -7,32 +7,42 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fluxcomp_bench::banner;
-use fluxcomp_compass::evaluate::sweep_headings;
-use fluxcomp_compass::{Compass, CompassConfig};
+use fluxcomp_compass::evaluate::sweep_headings_par;
+use fluxcomp_compass::{CompassConfig, CompassDesign};
+use fluxcomp_exec::ExecPolicy;
 use fluxcomp_rtl::clock::ClockTree;
 use fluxcomp_rtl::counter::UpDownCounter;
 use fluxcomp_units::si::Hertz;
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("E5", "heading error vs counter clock frequency", "§4, claim C7");
+    banner(
+        "E5",
+        "heading error vs counter clock frequency",
+        "§4, claim C7",
+    );
     eprintln!(
         "  {:>14} {:>14} {:>12} {:>12} {:>6}",
         "clock [Hz]", "counts/period", "max err [°]", "rms err [°]", "spec"
     );
+    let policy = ExecPolicy::auto();
     for mhz in [0.524288, 1.048576, 2.097152, 4.194304, 8.388608, 16.777216] {
         let clock = Hertz::new(mhz * 1e6);
         let mut cfg = CompassConfig::paper_design();
         cfg.clock = ClockTree::with_master(clock);
-        let mut compass = Compass::new(cfg).expect("valid");
-        let stats = sweep_headings(&mut compass, 16);
+        let design = CompassDesign::new(cfg).expect("valid");
+        let stats = sweep_headings_par(&design, 16, &policy);
         eprintln!(
             "  {:>14.0} {:>14.1} {:>12.3} {:>12.3} {:>6}",
             clock.value(),
             clock.value() / 8_000.0,
             stats.max_error.value(),
             stats.rms_error.value(),
-            if stats.meets_one_degree_spec() { "PASS" } else { "miss" }
+            if stats.meets_one_degree_spec() {
+                "PASS"
+            } else {
+                "miss"
+            }
         );
     }
     eprintln!("\n  -> 4.194304 MHz (= 2^22, the watch-crystal multiple) meets 1°;");
@@ -63,6 +73,19 @@ fn bench(c: &mut Criterion) {
                 Hertz::new(4_194_304.0),
             ))
         })
+    });
+
+    // The 16-point clock-characterisation sweep, serial vs pooled — the
+    // inner loop of the frequency table above.
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid");
+    let serial = ExecPolicy::serial();
+    let auto = ExecPolicy::auto();
+    group.sample_size(3);
+    group.bench_function("heading_sweep_16_serial", |b| {
+        b.iter(|| black_box(sweep_headings_par(&design, 16, &serial)))
+    });
+    group.bench_function("heading_sweep_16_parallel", |b| {
+        b.iter(|| black_box(sweep_headings_par(&design, 16, &auto)))
     });
     group.finish();
 }

@@ -17,7 +17,11 @@ use fluxcomp_units::si::Hertz;
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("E6", "Sea-of-Gates occupancy", "§2 / Fig. 2 / Fig. 7, claim C10");
+    banner(
+        "E6",
+        "Sea-of-Gates occupancy",
+        "§2 / Fig. 2 / Fig. 7, claim C10",
+    );
 
     let report = paper_chip().expect("fits");
     eprintln!(
@@ -47,7 +51,11 @@ fn print_experiment() {
         "\n  timing: 16-bit counter critical path {:.1} ns -> fmax {:.1} MHz ({} at 4.194304 MHz)",
         timing.critical_path_ns,
         timing.fmax.value() / 1e6,
-        if timing.meets(Hertz::new(4_194_304.0)) { "CLOSES" } else { "FAILS" }
+        if timing.meets(Hertz::new(4_194_304.0)) {
+            "CLOSES"
+        } else {
+            "FAILS"
+        }
     );
     let stage = analyze(
         &fluxcomp_rtl::synth::cordic_step(24, 3).0,
@@ -68,7 +76,10 @@ fn print_experiment() {
     );
 
     eprintln!("\n  utilisation sweep:");
-    eprintln!("  {:>12} {:>18} {:>8}", "utilisation", "digital quarters", "fits?");
+    eprintln!(
+        "  {:>12} {:>18} {:>8}",
+        "utilisation", "digital quarters", "fits?"
+    );
     for util in [0.50, 0.40, 0.30, 0.25, 0.22, 0.15, 0.10] {
         match build_chip(util) {
             Ok(r) => eprintln!("  {util:>12.2} {:>18.2} {:>8}", r.digital_quarters, "yes"),

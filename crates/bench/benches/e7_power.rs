@@ -17,7 +17,11 @@ use fluxcomp_units::si::Ampere;
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("E7", "power: multiplexing, enable gating, supply scaling", "§2/§4, claim C11");
+    banner(
+        "E7",
+        "power: multiplexing, enable gating, supply scaling",
+        "§2/§4, claim C11",
+    );
 
     let p5 = PowerModel::at_5v();
     let p35 = PowerModel::at_3v5();

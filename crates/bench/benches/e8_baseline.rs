@@ -30,7 +30,11 @@ fn worst_over(headings: &[f64], mut f: impl FnMut(Degrees) -> Degrees) -> f64 {
 }
 
 fn print_experiment() {
-    banner("E8", "pulse-position vs second-harmonic readout", "§2.1/§3.2, claims C6/C14");
+    banner(
+        "E8",
+        "pulse-position vs second-harmonic readout",
+        "§2.1/§3.2, claims C6/C14",
+    );
 
     let headings = [15.0, 75.0, 160.0, 250.0, 340.0];
     let mut pp = Compass::new(CompassConfig::paper_design()).expect("valid");
@@ -38,7 +42,10 @@ fn print_experiment() {
     eprintln!("  pulse-position (no ADC):        worst err {pp_worst:.2}°");
 
     eprintln!("\n  second-harmonic, by ADC resolution:");
-    eprintln!("  {:>10} {:>14} {:>18}", "ADC bits", "worst err [°]", "extra transistors");
+    eprintln!(
+        "  {:>10} {:>14} {:>18}",
+        "ADC bits", "worst err [°]", "extra transistors"
+    );
     for bits in [4u32, 6, 8, 10, 12] {
         let sh = SecondHarmonicCompass::new(CompassConfig::paper_design(), bits).expect("valid");
         let worst = worst_over(&headings, |t| sh.measure_heading(t));

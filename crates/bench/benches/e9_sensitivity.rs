@@ -19,12 +19,14 @@ use fluxcomp_units::si::{Ampere, Ohm};
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("E9", "sensitivity vs excitation amplitude; sensor variants", "§2.1.1/§3.1, C4/C5");
+    banner(
+        "E9",
+        "sensitivity vs excitation amplitude; sensor variants",
+        "§2.1.1/§3.1, C4/C5",
+    );
 
     let h_test = microtesla_to_h(15.0);
-    eprintln!(
-        "  excitation sweep (field readout of a 15 µT component; H_sat = 120 A/m):"
-    );
+    eprintln!("  excitation sweep (field readout of a 15 µT component; H_sat = 120 A/m):");
     eprintln!(
         "  {:>12} {:>12} {:>14} {:>12}",
         "I_pp [mA]", "H_pk/H_sat", "duty shift", "err [%]"
@@ -54,7 +56,10 @@ fn print_experiment() {
     for (name, params) in [
         ("adapted (paper model)", FluxgateParams::adapted()),
         ("kaw95 (H_K = 1 Oe)", FluxgateParams::kaw95()),
-        ("adapted + hysteresis", FluxgateParams::adapted_hysteretic(0.1)),
+        (
+            "adapted + hysteresis",
+            FluxgateParams::adapted_hysteretic(0.1),
+        ),
     ] {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.sensor = params;
@@ -74,7 +79,11 @@ fn print_experiment() {
         eprintln!(
             "    R = {r:>4.0} Ω: max current {:.2} mA {}",
             vi.max_current(Ohm::new(r)).value() * 1e3,
-            if vi.clips(Ampere::new(6e-3), Ohm::new(r)) { "(clips at ±6 mA)" } else { "" }
+            if vi.clips(Ampere::new(6e-3), Ohm::new(r)) {
+                "(clips at ±6 mA)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -117,7 +126,12 @@ fn bench(c: &mut Criterion) {
     let fe = FrontEnd::new(FrontEndConfig::paper_design());
     let h = microtesla_to_h(15.0);
     group.bench_function("field_readout_end_to_end", |b| {
-        b.iter(|| black_box(fe.run(black_box(h)).field_estimate(fe.peak_excitation_field())))
+        b.iter(|| {
+            black_box(
+                fe.run(black_box(h))
+                    .field_estimate(fe.peak_excitation_field()),
+            )
+        })
     });
     group.finish();
 }

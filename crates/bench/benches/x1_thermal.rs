@@ -13,33 +13,48 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fluxcomp_bench::{banner, microtesla_to_h};
-use fluxcomp_compass::evaluate::sweep_headings;
-use fluxcomp_compass::{Compass, CompassConfig};
+use fluxcomp_compass::evaluate::sweep_headings_par;
+use fluxcomp_compass::{Compass, CompassConfig, CompassDesign};
+use fluxcomp_exec::ExecPolicy;
 use fluxcomp_fluxgate::jiles_atherton::{JaParams, JilesAthertonCore};
-use fluxcomp_fluxgate::thermal::{max_drive_temperature, sensor_at_temperature, ThermalCoefficients};
+use fluxcomp_fluxgate::thermal::{
+    max_drive_temperature, sensor_at_temperature, ThermalCoefficients,
+};
 use fluxcomp_fluxgate::transducer::FluxgateParams;
 use fluxcomp_units::magnetics::AmperePerMeter;
 use fluxcomp_units::si::{Ampere, Ohm, Volt};
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("X1", "temperature behaviour (extension)", "§6 'broad specifications'");
+    banner(
+        "X1",
+        "temperature behaviour (extension)",
+        "§6 'broad specifications'",
+    );
 
     let coeffs = ThermalCoefficients::typical();
     eprintln!("  heading accuracy vs temperature (both sensors tracking):");
-    eprintln!("  {:>8} {:>10} {:>12} {:>12}", "T [°C]", "R_exc [Ω]", "max err [°]", "spec");
+    eprintln!(
+        "  {:>8} {:>10} {:>12} {:>12}",
+        "T [°C]", "R_exc [Ω]", "max err [°]", "spec"
+    );
+    let policy = ExecPolicy::auto();
     for t in [-20.0, 0.0, 25.0, 40.0, 60.0] {
         let mut cfg = CompassConfig::paper_design();
         let derated = sensor_at_temperature(&cfg.pair.element, &coeffs, t);
         cfg.pair.element = derated;
         cfg.frontend.sensor = derated;
-        let mut compass = Compass::new(cfg).expect("valid");
-        let stats = sweep_headings(&mut compass, 12);
+        let design = CompassDesign::new(cfg).expect("valid");
+        let stats = sweep_headings_par(&design, 12, &policy);
         eprintln!(
             "  {t:>8.0} {:>10.1} {:>12.3} {:>12}",
             derated.r_excitation.value(),
             stats.max_error.value(),
-            if stats.meets_one_degree_spec() { "PASS" } else { "miss" }
+            if stats.meets_one_degree_spec() {
+                "PASS"
+            } else {
+                "miss"
+            }
         );
     }
 
@@ -89,7 +104,7 @@ fn bench(c: &mut Criterion) {
     let derated = sensor_at_temperature(&cfg.pair.element, &coeffs, 60.0);
     cfg.pair.element = derated;
     cfg.frontend.sensor = derated;
-    let mut compass = Compass::new(cfg).expect("valid");
+    let mut compass = Compass::new(cfg.clone()).expect("valid");
     group.bench_function("hot_compass_fix", |b| {
         b.iter(|| {
             black_box(
@@ -98,6 +113,18 @@ fn bench(c: &mut Criterion) {
                     .heading,
             )
         })
+    });
+
+    // The hot-corner characterisation sweep, serial vs pooled.
+    let design = CompassDesign::new(cfg).expect("valid");
+    let serial = ExecPolicy::serial();
+    let auto = ExecPolicy::auto();
+    group.sample_size(3);
+    group.bench_function("hot_sweep_12_serial", |b| {
+        b.iter(|| black_box(sweep_headings_par(&design, 12, &serial)))
+    });
+    group.bench_function("hot_sweep_12_parallel", |b| {
+        b.iter(|| black_box(sweep_headings_par(&design, 12, &auto)))
     });
     let _ = microtesla_to_h(15.0);
     group.finish();

@@ -10,19 +10,28 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::filter::{circular_std, HeadingSmoother};
 use fluxcomp_compass::tilt::{
-    body_field, tilt_compensated_heading, two_axis_heading, worst_tilt_error, Attitude,
+    body_field, tilt_compensated_heading, two_axis_heading, worst_tilt_error, worst_tilt_error_par,
+    Attitude,
 };
-use fluxcomp_compass::{Compass, CompassConfig};
+use fluxcomp_compass::{CompassConfig, CompassDesign};
+use fluxcomp_exec::{derive_seed, ExecPolicy};
 use fluxcomp_fluxgate::earth::{EarthField, Location};
 use fluxcomp_units::angle::Degrees;
 use std::hint::black_box;
 
 fn print_experiment() {
-    banner("X2", "tilt error and tilt compensation (extension)", "§2 'horizontal plane'");
+    banner(
+        "X2",
+        "tilt error and tilt compensation (extension)",
+        "§2 'horizontal plane'",
+    );
 
     let field = EarthField::at(Location::Enschede);
     eprintln!("  two-axis worst heading error vs pitch (Enschede, 67° dip):");
-    eprintln!("  {:>10} {:>14} {:>18}", "pitch [°]", "2-axis err [°]", "3-axis comp. [°]");
+    eprintln!(
+        "  {:>10} {:>14} {:>18}",
+        "pitch [°]", "2-axis err [°]", "3-axis comp. [°]"
+    );
     for pitch in [0.0, 2.0, 5.0, 10.0, 20.0] {
         let att = Attitude::new(Degrees::new(pitch), Degrees::ZERO);
         let raw = worst_tilt_error(&field, att, 36).value();
@@ -43,13 +52,17 @@ fn print_experiment() {
     let mut cfg = CompassConfig::paper_design();
     cfg.frontend.pickup_noise_rms = 2e-3;
     cfg.frontend.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
-    let mut compass = Compass::new(cfg).expect("valid");
+    let design = CompassDesign::new(cfg).expect("valid");
+    let base_seed = design.config().frontend.noise_seed;
     let truth = Degrees::new(123.0);
     let mut raw_fixes = Vec::new();
     let mut smoother = HeadingSmoother::new(0.25);
     let mut smoothed_tail = Vec::new();
-    for k in 0..60 {
-        let fix = compass.measure_heading(truth).heading;
+    for k in 0..60u64 {
+        // A fresh noise realisation per fix, deterministically derived.
+        let fix = design
+            .measure_heading_seeded(truth, derive_seed(base_seed, k))
+            .heading;
         raw_fixes.push(fix);
         let s = smoother.update(fix);
         if k >= 20 {
@@ -77,12 +90,28 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(tilt_compensated_heading(bx, by, bz, att)))
     });
     group.bench_function("two_axis_heading", |b| {
-        b.iter(|| black_box(two_axis_heading(&field, black_box(Degrees::new(123.0)), att)))
+        b.iter(|| {
+            black_box(two_axis_heading(
+                &field,
+                black_box(Degrees::new(123.0)),
+                att,
+            ))
+        })
     });
 
     let mut smoother = HeadingSmoother::new(0.25);
     group.bench_function("heading_smoother_update", |b| {
         b.iter(|| black_box(smoother.update(black_box(Degrees::new(90.5)))))
+    });
+
+    // The 360-point tilt scan on the sweep engine, serial vs pooled.
+    let serial = ExecPolicy::serial();
+    let auto = ExecPolicy::auto().with_chunk(16);
+    group.bench_function("tilt_scan_360_serial", |b| {
+        b.iter(|| black_box(worst_tilt_error_par(&field, att, 360, &serial)))
+    });
+    group.bench_function("tilt_scan_360_parallel", |b| {
+        b.iter(|| black_box(worst_tilt_error_par(&field, att, 360, &auto)))
     });
     group.finish();
 }

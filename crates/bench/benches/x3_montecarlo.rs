@@ -11,7 +11,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::{Compass, CompassConfig};
-use fluxcomp_msim::montecarlo::{run_monte_carlo, Tolerance};
+use fluxcomp_exec::ExecPolicy;
+use fluxcomp_msim::montecarlo::{run_monte_carlo, run_monte_carlo_par, Tolerance};
 use fluxcomp_units::angle::Degrees;
 use fluxcomp_units::si::{Ampere, Volt};
 use std::hint::black_box;
@@ -46,7 +47,11 @@ fn unit_worst_error(factors: &[f64]) -> f64 {
 }
 
 fn print_experiment() {
-    banner("X3", "Monte-Carlo yield of the 1° spec (extension)", "§6 'broad specifications'");
+    banner(
+        "X3",
+        "Monte-Carlo yield of the 1° spec (extension)",
+        "§6 'broad specifications'",
+    );
 
     let tolerances = [
         Tolerance::Gaussian { rel_sigma: 0.05 }, // sensor H_K: ±5 % process
@@ -55,9 +60,22 @@ fn print_experiment() {
         Tolerance::Gaussian { rel_sigma: 0.01 }, // pair gain mismatch ±1 %
         Tolerance::Gaussian { rel_sigma: 0.01 }, // misalignment (±0.2° σ)
     ];
-    let result = run_monte_carlo(&tolerances, 60, 0xC0FFEE, |s| unit_worst_error(s), |m| m <= 1.0);
+    // One sampled unit is ~100 ms of transient simulation: ideal grain
+    // for the worker pool, and (per-trial seeding) bit-identical to the
+    // serial harness.
+    let result = run_monte_carlo_par(
+        &tolerances,
+        60,
+        0xC0FFEE,
+        &ExecPolicy::auto(),
+        |s| unit_worst_error(s),
+        |m| m <= 1.0,
+    );
     eprintln!("  60 sampled units, 4 probe headings each:");
-    eprintln!("    yield (worst error ≤ 1°): {:.0} %", result.yield_fraction() * 100.0);
+    eprintln!(
+        "    yield (worst error ≤ 1°): {:.0} %",
+        result.yield_fraction() * 100.0
+    );
     eprintln!("    median worst error: {:.3}°", result.quantile(0.5));
     eprintln!("    90th percentile:    {:.3}°", result.quantile(0.9));
     eprintln!("    worst sampled unit: {:.3}°", result.quantile(1.0));
@@ -65,7 +83,10 @@ fn print_experiment() {
     // Sensitivity: which tolerance matters? Re-run with each parameter
     // alone widened to 3x.
     eprintln!("\n  one-at-a-time widening (x3 the sigma), yield impact:");
-    for (k, name) in ["H_K", "I_pp", "comp offset", "gain match", "alignment"].iter().enumerate() {
+    for (k, name) in ["H_K", "I_pp", "comp offset", "gain match", "alignment"]
+        .iter()
+        .enumerate()
+    {
         let mut widened = tolerances;
         widened[k] = match tolerances[k] {
             Tolerance::Gaussian { rel_sigma } => Tolerance::Gaussian {
@@ -73,8 +94,18 @@ fn print_experiment() {
             },
             t => t,
         };
-        let r = run_monte_carlo(&widened, 40, 0xC0FFEE, |s| unit_worst_error(s), |m| m <= 1.0);
-        eprintln!("    {name:<12} -> yield {:.0} %", r.yield_fraction() * 100.0);
+        let r = run_monte_carlo_par(
+            &widened,
+            40,
+            0xC0FFEE,
+            &ExecPolicy::auto(),
+            |s| unit_worst_error(s),
+            |m| m <= 1.0,
+        );
+        eprintln!(
+            "    {name:<12} -> yield {:.0} %",
+            r.yield_fraction() * 100.0
+        );
     }
 }
 
@@ -84,7 +115,46 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("x3_montecarlo");
     group.sample_size(10);
     group.bench_function("one_sampled_unit", |b| {
-        b.iter(|| black_box(unit_worst_error(black_box(&[1.02, 0.99, 1.01, 1.002, 0.999]))))
+        b.iter(|| {
+            black_box(unit_worst_error(black_box(&[
+                1.02, 0.99, 1.01, 1.002, 0.999,
+            ])))
+        })
+    });
+
+    // A 12-unit yield batch through the full pipeline, serial harness
+    // vs the worker pool.
+    let tolerances = [
+        Tolerance::Gaussian { rel_sigma: 0.05 },
+        Tolerance::Gaussian { rel_sigma: 0.02 },
+        Tolerance::Gaussian { rel_sigma: 0.04 },
+        Tolerance::Gaussian { rel_sigma: 0.01 },
+        Tolerance::Gaussian { rel_sigma: 0.01 },
+    ];
+    group.sample_size(3);
+    group.bench_function("yield_12_units_serial", |b| {
+        b.iter(|| {
+            black_box(run_monte_carlo(
+                &tolerances,
+                12,
+                0xC0FFEE,
+                |s| unit_worst_error(s),
+                |m| m <= 1.0,
+            ))
+        })
+    });
+    group.bench_function("yield_12_units_parallel", |b| {
+        let auto = ExecPolicy::auto();
+        b.iter(|| {
+            black_box(run_monte_carlo_par(
+                &tolerances,
+                12,
+                0xC0FFEE,
+                &auto,
+                |s| unit_worst_error(s),
+                |m| m <= 1.0,
+            ))
+        })
     });
     group.finish();
 }

@@ -53,8 +53,7 @@ impl SecondHarmonicCompass {
         let demod = SecondHarmonicDemodulator::new(config.frontend.excitation.frequency());
         // Calibration run: a known positive full-scale field.
         let h_cal = AmperePerMeter::new(
-            config.field.horizontal_magnitude().value()
-                / fluxcomp_units::magnetics::MU_0,
+            config.field.horizontal_magnitude().value() / fluxcomp_units::magnetics::MU_0,
         );
         let (samples, dt) = pickup_samples(&frontend, h_cal, &config);
         let reference = demod.demodulate_iq(&samples, dt);
@@ -77,7 +76,9 @@ impl SecondHarmonicCompass {
 
     /// Measures one axis: demodulated second harmonic, digitised.
     pub fn measure_axis(&self, axis: Axis, true_heading: Degrees) -> i64 {
-        let h_ext = self.pair.axial_field(axis, &self.config.field, true_heading);
+        let h_ext = self
+            .pair
+            .axial_field(axis, &self.config.field, true_heading);
         let (samples, dt) = pickup_samples(&self.frontend, h_ext, &self.config);
         let s = self.demod.signed_output(&samples, dt, self.reference);
         self.adc.convert(Volt::new(s))
@@ -189,7 +190,7 @@ mod tests {
         let b = baseline(10);
         // Full-scale field must not rail the converter.
         let code = b.measure_axis(Axis::X, Degrees::new(0.0));
-        assert!(code < b.adc().bits() as i64 * 0 + (1 << 9) - 1);
+        assert!(code < (1i64 << b.adc().bits()) - 1);
         assert!(code > (1 << 8), "code {code} suspiciously small");
     }
 }

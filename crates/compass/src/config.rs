@@ -36,9 +36,7 @@ impl CompassConfig {
             pair: SensorPairParams::ideal(),
             clock: ClockTree::paper(),
             cordic_iterations: 8,
-            field: EarthField::horizontal(
-                fluxcomp_units::Tesla::from_microtesla(15.0),
-            ),
+            field: EarthField::horizontal(fluxcomp_units::Tesla::from_microtesla(15.0)),
         }
     }
 

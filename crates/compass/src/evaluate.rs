@@ -1,8 +1,17 @@
 //! Accuracy evaluation — the harness behind the paper's headline
 //! "accuracy of one degree" (C1) and the field-magnitude insensitivity
 //! claim (C9).
+//!
+//! The sweeps run on the `fluxcomp-exec` engine: each heading is an
+//! independent pure measurement of a shared [`CompassDesign`], so
+//! [`sweep_headings_par`] distributes them over a worker pool and folds
+//! the ordered per-heading errors into [`AccuracyStats`] on the calling
+//! thread. The fold order never depends on scheduling, which makes the
+//! parallel statistics bit-identical to the serial ones at any thread
+//! count.
 
-use crate::system::Compass;
+use crate::system::{Compass, CompassDesign};
+use fluxcomp_exec::{derive_seed, par_map_range, ExecPolicy, StreamStats};
 use fluxcomp_units::angle::Degrees;
 
 /// Error statistics over a heading sweep.
@@ -21,10 +30,36 @@ pub struct AccuracyStats {
 }
 
 impl AccuracyStats {
+    /// Folds a sequence of signed errors (degrees) into the summary
+    /// statistics. The fold is a single left-to-right pass, so callers
+    /// that need bit-reproducible results must present the errors in a
+    /// deterministic order (sweep index order, here).
+    pub fn from_signed_errors<I: IntoIterator<Item = f64>>(errors: I) -> Self {
+        let s = StreamStats::from_samples(errors);
+        Self {
+            samples: s.count(),
+            max_error: Degrees::new(s.max_abs()),
+            mean_error: Degrees::new(s.mean_abs()),
+            rms_error: Degrees::new(s.rms()),
+            bias: Degrees::new(s.mean()),
+        }
+    }
+
     /// `true` when the worst case meets the paper's 1° specification.
     pub fn meets_one_degree_spec(&self) -> bool {
         self.max_error.value() <= 1.0
     }
+}
+
+/// The signed heading error (degrees) of one fix at sweep point `k` of
+/// `n`: truth is `k·360/n`.
+fn sweep_error(design: &CompassDesign, k: usize, n: usize) -> f64 {
+    let truth = Degrees::new(k as f64 * 360.0 / n as f64);
+    design
+        .measure_heading(truth)
+        .heading
+        .signed_error_from(truth)
+        .value()
 }
 
 /// Evaluates the compass over `n` equally spaced headings in `[0, 360)`.
@@ -33,42 +68,48 @@ impl AccuracyStats {
 ///
 /// Panics if `n == 0`.
 pub fn sweep_headings(compass: &mut Compass, n: usize) -> AccuracyStats {
+    sweep_headings_par(compass.design(), n, &ExecPolicy::serial())
+}
+
+/// [`sweep_headings`] on the parallel engine: the `n` fixes are
+/// distributed over `policy`'s worker pool and the statistics folded in
+/// sweep order, so the result is bit-identical to the serial sweep.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sweep_headings_par(design: &CompassDesign, n: usize, policy: &ExecPolicy) -> AccuracyStats {
     assert!(n > 0, "need at least one heading");
-    let mut max_err = 0.0f64;
-    let mut sum_abs = 0.0;
-    let mut sum_sq = 0.0;
-    let mut sum_signed = 0.0;
-    for k in 0..n {
-        let truth = Degrees::new(k as f64 * 360.0 / n as f64);
-        let reading = compass.measure_heading(truth);
-        let signed = reading.heading.signed_error_from(truth).value();
-        let abs = signed.abs();
-        max_err = max_err.max(abs);
-        sum_abs += abs;
-        sum_sq += signed * signed;
-        sum_signed += signed;
-    }
-    AccuracyStats {
-        samples: n,
-        max_error: Degrees::new(max_err),
-        mean_error: Degrees::new(sum_abs / n as f64),
-        rms_error: Degrees::new((sum_sq / n as f64).sqrt()),
-        bias: Degrees::new(sum_signed / n as f64),
-    }
+    let errors = par_map_range(policy, n, |k| sweep_error(design, k, n));
+    AccuracyStats::from_signed_errors(errors)
 }
 
 /// Evaluates a single heading `repeats` times (for noise studies) and
 /// returns the per-trial errors in degrees.
+///
+/// Every repeat uses a distinct noise seed derived from the design's
+/// configured seed and the repeat index, so the trials are independent
+/// noise realisations yet the whole study is reproducible.
 pub fn repeat_heading(compass: &mut Compass, heading: Degrees, repeats: usize) -> Vec<f64> {
-    (0..repeats)
-        .map(|_| {
-            compass
-                .measure_heading(heading)
-                .heading
-                .signed_error_from(heading)
-                .value()
-        })
-        .collect()
+    repeat_heading_par(compass.design(), heading, repeats, &ExecPolicy::serial())
+}
+
+/// [`repeat_heading`] on the parallel engine; bit-identical to the
+/// serial path at any worker count.
+pub fn repeat_heading_par(
+    design: &CompassDesign,
+    heading: Degrees,
+    repeats: usize,
+    policy: &ExecPolicy,
+) -> Vec<f64> {
+    let base = design.config().frontend.noise_seed;
+    par_map_range(policy, repeats, |k| {
+        design
+            .measure_heading_seeded(heading, derive_seed(base, k as u64))
+            .heading
+            .signed_error_from(heading)
+            .value()
+    })
 }
 
 #[cfg(test)]
@@ -94,6 +135,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let serial = sweep_headings_par(&design, 24, &ExecPolicy::serial());
+        for threads in [2, 4, 8] {
+            let par = sweep_headings_par(&design, 24, &ExecPolicy::with_threads(threads));
+            assert_eq!(serial, par, "at {threads} threads");
+            assert_eq!(
+                serial.rms_error.value().to_bits(),
+                par.rms_error.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn fewer_cordic_iterations_lose_the_spec() {
         let mut cfg = CompassConfig::paper_design();
         cfg.cordic_iterations = 3;
@@ -112,6 +167,38 @@ mod tests {
         let errs = repeat_heading(&mut c, Degrees::new(77.0), 3);
         assert_eq!(errs.len(), 3);
         assert!(errs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn repeat_heading_varies_under_noise_but_reproduces() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.frontend.pickup_noise_rms = 2e-3;
+        cfg.frontend.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
+        let design = CompassDesign::new(cfg).unwrap();
+        let policy = ExecPolicy::serial();
+        let errs = repeat_heading_par(&design, Degrees::new(30.0), 8, &policy);
+        // Distinct per-repeat seeds: the noise realisations differ.
+        assert!(
+            errs.windows(2).any(|w| w[0] != w[1]),
+            "noise repeats should differ: {errs:?}"
+        );
+        // ... yet the whole study is reproducible, serial or parallel.
+        let again = repeat_heading_par(&design, Degrees::new(30.0), 8, &policy);
+        assert_eq!(errs, again);
+        let par = repeat_heading_par(&design, Degrees::new(30.0), 8, &ExecPolicy::with_threads(4));
+        assert_eq!(errs, par);
+    }
+
+    #[test]
+    fn stats_fold_matches_direct_formulas() {
+        let errs = [0.5, -0.25, 1.0, -0.75];
+        let s = AccuracyStats::from_signed_errors(errs);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.max_error.value(), 1.0);
+        assert!((s.mean_error.value() - 0.625).abs() < 1e-12);
+        assert!((s.bias.value() - 0.125).abs() < 1e-12);
+        let rms = (errs.iter().map(|e| e * e).sum::<f64>() / 4.0).sqrt();
+        assert!((s.rms_error.value() - rms).abs() < 1e-12);
     }
 
     #[test]

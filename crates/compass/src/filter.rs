@@ -15,9 +15,9 @@ pub fn circular_mean(headings: &[Degrees]) -> Option<Degrees> {
     if headings.is_empty() {
         return None;
     }
-    let (sx, sy) = headings.iter().fold((0.0, 0.0), |(x, y), h| {
-        (x + h.cos(), y + h.sin())
-    });
+    let (sx, sy) = headings
+        .iter()
+        .fold((0.0, 0.0), |(x, y), h| (x + h.cos(), y + h.sin()));
     let r = (sx * sx + sy * sy).sqrt() / headings.len() as f64;
     if r < 1e-9 {
         return None;
@@ -31,9 +31,9 @@ pub fn circular_std(headings: &[Degrees]) -> Option<Degrees> {
     if headings.is_empty() {
         return None;
     }
-    let (sx, sy) = headings.iter().fold((0.0, 0.0), |(x, y), h| {
-        (x + h.cos(), y + h.sin())
-    });
+    let (sx, sy) = headings
+        .iter()
+        .fold((0.0, 0.0), |(x, y), h| (x + h.cos(), y + h.sin()));
     let r = ((sx * sx + sy * sy).sqrt() / headings.len() as f64).clamp(1e-12, 1.0);
     Some(Degrees::new((-2.0 * r.ln()).sqrt().to_degrees()))
 }
@@ -67,10 +67,7 @@ impl HeadingSmoother {
         let v = (fix.cos(), fix.sin());
         let s = match self.state {
             None => v,
-            Some((x, y)) => (
-                x + self.alpha * (v.0 - x),
-                y + self.alpha * (v.1 - y),
-            ),
+            Some((x, y)) => (x + self.alpha * (v.0 - x), y + self.alpha * (v.1 - y)),
         };
         self.state = Some(s);
         Degrees::atan2(s.1, s.0).normalized()
@@ -95,7 +92,10 @@ mod tests {
     fn mean_across_north_is_north() {
         let headings = [Degrees::new(359.0), Degrees::new(1.0), Degrees::new(0.5)];
         let mean = circular_mean(&headings).unwrap();
-        assert!(mean.angular_distance(Degrees::new(0.17)).value() < 0.2, "{mean}");
+        assert!(
+            mean.angular_distance(Degrees::new(0.17)).value() < 0.2,
+            "{mean}"
+        );
     }
 
     #[test]
@@ -117,8 +117,12 @@ mod tests {
 
     #[test]
     fn std_of_tight_cluster_is_small() {
-        let tight: Vec<Degrees> = (0..10).map(|k| Degrees::new(90.0 + 0.1 * k as f64)).collect();
-        let loose: Vec<Degrees> = (0..10).map(|k| Degrees::new(90.0 + 10.0 * k as f64)).collect();
+        let tight: Vec<Degrees> = (0..10)
+            .map(|k| Degrees::new(90.0 + 0.1 * k as f64))
+            .collect();
+        let loose: Vec<Degrees> = (0..10)
+            .map(|k| Degrees::new(90.0 + 10.0 * k as f64))
+            .collect();
         let s_tight = circular_std(&tight).unwrap().value();
         let s_loose = circular_std(&loose).unwrap().value();
         assert!(s_tight < 1.0, "{s_tight}");
@@ -162,7 +166,10 @@ mod tests {
         }
         let out = f.current().unwrap();
         // The smoothed heading lags but must be near north, NOT near 180°.
-        assert!(out.angular_distance(Degrees::new(5.0)).value() < 10.0, "{out}");
+        assert!(
+            out.angular_distance(Degrees::new(5.0)).value() < 10.0,
+            "{out}"
+        );
     }
 
     #[test]

@@ -81,15 +81,13 @@ impl GateLevelCompass {
 
     /// Runs one axis through the front-end and the gate-level counter.
     fn measure_axis_gate_level(&mut self, axis: Axis, true_heading: Degrees) -> i64 {
-        let h_ext = self.pair.axial_field(axis, &self.config.field, true_heading);
+        let h_ext = self
+            .pair
+            .axial_field(axis, &self.config.field, true_heading);
         let result = self.frontend.run(h_ext);
         let window = self.config.frontend.measure_periods as f64
             / self.config.frontend.excitation.frequency().value();
-        let stream = sample_at_clock(
-            &result.detector_samples,
-            window,
-            self.config.clock.master(),
-        );
+        let stream = sample_at_clock(&result.detector_samples, window, self.config.clock.master());
         // Reset the counter netlist by loading zero through… there is no
         // reset pin (matching the paper-era minimal counter): rebuild the
         // simulator, which powers up at zero like silicon after POR.
@@ -121,7 +119,9 @@ impl GateLevelCompass {
             self.cordic_sim.set_bus(&self.cordic_nets.x_in, x.abs());
             self.cordic_sim.set_bus(&self.cordic_nets.y_in, y.abs());
             self.cordic_sim.settle();
-            let q8 = self.cordic_sim.bus_value_signed(&self.cordic_nets.angle_out);
+            let q8 = self
+                .cordic_sim
+                .bus_value_signed(&self.cordic_nets.angle_out);
             let folded = match (x >= 0, y >= 0) {
                 (true, true) => q8,
                 (false, true) => 180 * ANGLE_SCALE - q8,

@@ -141,7 +141,11 @@ mod tests {
         // 2 % of distance (1° ≈ 1.75 %, and errors partly cancel).
         assert!(result.intended.distance_to(&Position::default()) < 1e-9);
         let rel = result.relative_error();
-        assert!(rel < 0.02, "closing error {:.1} m ({rel:.4})", result.position_error());
+        assert!(
+            rel < 0.02,
+            "closing error {:.1} m ({rel:.4})",
+            result.position_error()
+        );
         assert_eq!(result.total_distance, 4_000.0);
         assert_eq!(result.indicated_headings.len(), 4);
     }

@@ -15,7 +15,8 @@
 
 use crate::config::CompassConfig;
 use crate::selftest::{run_self_test, SelfTestReport};
-use crate::system::Compass;
+use crate::system::CompassDesign;
+use fluxcomp_exec::{par_map, ExecPolicy};
 use fluxcomp_mcm::diagnosis::diagnose_module;
 use fluxcomp_mcm::interconnect_test::InterconnectTester;
 use fluxcomp_mcm::substrate::{Fault, McmAssembly};
@@ -86,9 +87,11 @@ pub fn production_test(assembly: &McmAssembly, config: &CompassConfig) -> Produc
         };
     }
 
-    // Stage 3: functional check in the fixture's field.
-    let mut compass = match Compass::new(config.clone()) {
-        Ok(c) => c,
+    // Stage 3: functional check in the fixture's field. The design's
+    // measurement path is immutable, so the check needs no per-module
+    // mutable state — modules on a parallel line share nothing.
+    let design = match CompassDesign::new(config.clone()) {
+        Ok(d) => d,
         Err(_) => {
             return ProductionResult {
                 reject: Some(RejectReason::Functional {
@@ -101,7 +104,7 @@ pub fn production_test(assembly: &McmAssembly, config: &CompassConfig) -> Produc
     let mut worst = 0.0f64;
     for deg in [0.0, 90.0, 180.0, 270.0, 45.0] {
         let t = Degrees::new(deg);
-        let got = compass.measure_heading(t).heading;
+        let got = design.measure_heading(t).heading;
         worst = worst.max(got.angular_distance(t).value());
     }
     if worst > FUNCTIONAL_LIMIT_DEGREES {
@@ -114,6 +117,19 @@ pub fn production_test(assembly: &McmAssembly, config: &CompassConfig) -> Produc
         reject: None,
         stages_run: 3,
     }
+}
+
+/// Runs the full flow on a whole batch of modules, one worker-pool task
+/// per module. Each module's flow is independent, so the verdict vector
+/// is identical — stage by stage, error bit by error bit — to testing
+/// the batch serially.
+pub fn production_test_batch(
+    modules: &[(McmAssembly, CompassConfig)],
+    policy: &ExecPolicy,
+) -> Vec<ProductionResult> {
+    par_map(policy, modules, |_, (assembly, config)| {
+        production_test(assembly, config)
+    })
 }
 
 #[cfg(test)]
@@ -166,11 +182,36 @@ mod tests {
         cfg.frontend.sensor = cfg.pair.element;
         let result = production_test(&McmAssembly::paper_module(), &cfg);
         assert!(!result.shipped(), "{result:?}");
-        assert_eq!(result.stages_run, 3, "the BIST passes; functional must catch it");
+        assert_eq!(
+            result.stages_run, 3,
+            "the BIST passes; functional must catch it"
+        );
         assert!(matches!(
             result.reject,
             Some(RejectReason::Functional { .. })
         ));
+    }
+
+    #[test]
+    fn batch_matches_serial_flow() {
+        let mut bad_cfg = CompassConfig::paper_design();
+        bad_cfg.pair.misalignment = fluxcomp_units::Degrees::new(4.0);
+        let mut open_module = McmAssembly::paper_module();
+        open_module.inject(Fault::Open { net: 3 });
+        let batch = vec![
+            (McmAssembly::paper_module(), CompassConfig::paper_design()),
+            (open_module, CompassConfig::paper_design()),
+            (McmAssembly::paper_module(), bad_cfg),
+        ];
+        let serial: Vec<ProductionResult> =
+            batch.iter().map(|(a, c)| production_test(a, c)).collect();
+        for threads in [1, 4] {
+            let par = production_test_batch(&batch, &ExecPolicy::with_threads(threads));
+            assert_eq!(serial, par, "at {threads} threads");
+        }
+        assert!(serial[0].shipped());
+        assert!(!serial[1].shipped() && serial[1].stages_run == 1);
+        assert!(!serial[2].shipped() && serial[2].stages_run == 3);
     }
 
     #[test]

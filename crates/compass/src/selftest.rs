@@ -81,8 +81,7 @@ pub fn run_self_test(config: &CompassConfig, test_offset: Ampere) -> SelfTestRep
         FrontEnd::new(design_fe).peak_excitation_field()
     };
     let _ = sensor;
-    let expected_delta =
-        -config.clock.master().value() * window * h_equiv.value() / h_peak.value();
+    let expected_delta = -config.clock.master().value() * window * h_equiv.value() / h_peak.value();
     let measured_delta = (stimulated_count - baseline_count) as f64;
     let gain_error = if expected_delta.abs() < 1.0 {
         f64::INFINITY

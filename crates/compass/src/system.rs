@@ -17,6 +17,16 @@
 //! behavioural analogue blocks, cycle-level digital — so the end-to-end
 //! accuracy measured here *is* the reproduction of the paper's
 //! "accuracy of one degree" claim.
+//!
+//! The measurement core lives in [`CompassDesign`]: the immutable
+//! configuration-plus-derived-blocks bundle whose
+//! [`measure_heading`](CompassDesign::measure_heading) is a pure
+//! function of the design and the true heading. That purity is what the
+//! parallel sweep engine (`fluxcomp-exec`) exploits — many worker
+//! threads can share one `&CompassDesign` and the results are
+//! bit-identical to a serial loop. [`Compass`] wraps a design together
+//! with the *stateful* silicon (sequencer walk, LCD latch) for the
+//! watch-level examples and the power schedule.
 
 use crate::config::{BuildError, CompassConfig};
 use fluxcomp_afe::frontend::{FrontEnd, FrontEndResult};
@@ -54,19 +64,23 @@ pub struct Reading {
     pub cordic_cycles: u32,
 }
 
-/// The integrated compass.
+/// The immutable measurement core: configuration plus the derived
+/// analogue/digital blocks, with no per-fix state.
+///
+/// Every measurement method takes `&self` and is a pure function of the
+/// design and its arguments (noise is re-seeded from the configuration —
+/// or an explicit seed — on every run), so a design can be shared across
+/// threads (`Sync`) and swept in parallel with deterministic results.
 #[derive(Debug, Clone)]
-pub struct Compass {
+pub struct CompassDesign {
     config: CompassConfig,
     frontend: FrontEnd,
     pair: SensorPair,
     cordic: CordicArctan,
-    sequencer: Sequencer,
-    display: DisplayDriver,
 }
 
-impl Compass {
-    /// Builds the system.
+impl CompassDesign {
+    /// Validates and builds the measurement core.
     ///
     /// # Errors
     ///
@@ -92,8 +106,6 @@ impl Compass {
             frontend: FrontEnd::new(fe_config),
             pair: SensorPair::new(config.pair),
             cordic: CordicArctan::new(config.cordic_iterations),
-            sequencer: Sequencer::new(config.frontend.measure_periods as u32, 8),
-            display: DisplayDriver::new(),
             config,
         })
     }
@@ -101,6 +113,127 @@ impl Compass {
     /// The configuration.
     pub fn config(&self) -> &CompassConfig {
         &self.config
+    }
+
+    /// The peak excitation field of the front-end — the `H_peak` of the
+    /// duty-cycle equation.
+    pub fn peak_excitation_field(&self) -> AmperePerMeter {
+        self.frontend.peak_excitation_field()
+    }
+
+    /// Measures a single axis with the platform at `true_heading`:
+    /// transient front-end run + counter integration. Noise (if
+    /// configured) is seeded from the configuration's `noise_seed`.
+    pub fn measure_axis(&self, axis: Axis, true_heading: Degrees) -> AxisMeasurement {
+        self.measure_axis_seeded(axis, true_heading, self.config.frontend.noise_seed)
+    }
+
+    /// Like [`measure_axis`](Self::measure_axis) with an explicit noise
+    /// seed — the entry point for repeat studies that need a different
+    /// noise realisation per fix while staying deterministic.
+    pub fn measure_axis_seeded(
+        &self,
+        axis: Axis,
+        true_heading: Degrees,
+        noise_seed: u64,
+    ) -> AxisMeasurement {
+        let h_ext = self
+            .pair
+            .axial_field(axis, &self.config.field, true_heading);
+        let result: FrontEndResult = self.frontend.run_with_seed(h_ext, noise_seed);
+        let window = self.config.frontend.measure_periods as f64
+            / self.config.frontend.excitation.frequency().value();
+        let stream = sample_at_clock(&result.detector_samples, window, self.config.clock.master());
+        let mut counter = UpDownCounter::paper_design();
+        let count = counter.run(stream);
+        AxisMeasurement {
+            axis,
+            duty: result.duty,
+            count,
+            clipped: result.clipped,
+        }
+    }
+
+    /// Runs one full fix with the platform at `true_heading`.
+    ///
+    /// The duty-cycle equation is `duty = 1/2 − H/(2·H_peak)`, so the
+    /// counter output is **−count ∝ H**; the sign flip below is the
+    /// "and vice versa" wiring the paper mentions for the detector
+    /// polarity.
+    pub fn measure_heading(&self, true_heading: Degrees) -> Reading {
+        self.measure_heading_seeded(true_heading, self.config.frontend.noise_seed)
+    }
+
+    /// Like [`measure_heading`](Self::measure_heading) with an explicit
+    /// noise seed applied to both axis measurements.
+    pub fn measure_heading_seeded(&self, true_heading: Degrees, noise_seed: u64) -> Reading {
+        let x = self.measure_axis_seeded(Axis::X, true_heading, noise_seed);
+        let y = self.measure_axis_seeded(Axis::Y, true_heading, noise_seed);
+        let (heading, cycles) = match self.cordic.heading(-x.count, -y.count) {
+            Ok(r) => (r.heading, r.cycles),
+            // A fully null field (shielded sensor): hold 0° like the
+            // hardware's result register would.
+            Err(ComputeHeadingError::ZeroVector | ComputeHeadingError::Overflow) => {
+                (Degrees::ZERO, self.cordic.iterations())
+            }
+        };
+        Reading {
+            heading,
+            x,
+            y,
+            cordic_cycles: cycles,
+        }
+    }
+
+    /// The floating-point reference heading for the current field and a
+    /// true heading — the oracle the digital pipeline is compared
+    /// against.
+    pub fn reference_heading(&self, true_heading: Degrees) -> Degrees {
+        let (hx, hy) = self.pair.axial_fields(&self.config.field, true_heading);
+        Degrees::atan2(hy.value(), hx.value()).normalized()
+    }
+}
+
+/// The integrated compass: an immutable [`CompassDesign`] plus the
+/// stateful silicon around it — the multiplexing/power-gating sequencer
+/// and the LCD driver.
+#[derive(Debug, Clone)]
+pub struct Compass {
+    design: CompassDesign,
+    sequencer: Sequencer,
+    display: DisplayDriver,
+}
+
+impl Compass {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompassDesign::new`].
+    pub fn new(config: CompassConfig) -> Result<Self, BuildError> {
+        Ok(Self::from_design(CompassDesign::new(config)?))
+    }
+
+    /// Wraps an already-validated design with fresh sequencer/display
+    /// state.
+    pub fn from_design(design: CompassDesign) -> Self {
+        let periods = design.config().frontend.measure_periods as u32;
+        Self {
+            sequencer: Sequencer::new(periods, 8),
+            display: DisplayDriver::new(),
+            design,
+        }
+    }
+
+    /// The immutable measurement core — share this with the parallel
+    /// sweep engine.
+    pub fn design(&self) -> &CompassDesign {
+        &self.design
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CompassConfig {
+        self.design.config()
     }
 
     /// The display driver (latched with the last heading after each fix).
@@ -121,56 +254,33 @@ impl Compass {
     /// The peak excitation field of the front-end — the `H_peak` of the
     /// duty-cycle equation.
     pub fn peak_excitation_field(&self) -> AmperePerMeter {
-        self.frontend.peak_excitation_field()
+        self.design.peak_excitation_field()
     }
 
     /// Measures a single axis with the platform at `true_heading`:
     /// transient front-end run + counter integration.
     pub fn measure_axis(&mut self, axis: Axis, true_heading: Degrees) -> AxisMeasurement {
-        let h_ext = self.pair.axial_field(axis, &self.config.field, true_heading);
-        let result: FrontEndResult = self.frontend.run(h_ext);
-        let window = self.config.frontend.measure_periods as f64
-            / self.config.frontend.excitation.frequency().value();
-        let stream = sample_at_clock(
-            &result.detector_samples,
-            window,
-            self.config.clock.master(),
-        );
-        let mut counter = UpDownCounter::paper_design();
-        let count = counter.run(stream);
-        AxisMeasurement {
-            axis,
-            duty: result.duty,
-            count,
-            clipped: result.clipped,
-        }
+        self.design.measure_axis(axis, true_heading)
     }
 
     /// Runs one full multiplexed fix with the platform at `true_heading`
     /// and latches the result onto the display.
-    ///
-    /// The duty-cycle equation is `duty = 1/2 − H/(2·H_peak)`, so the
-    /// counter output is **−count ∝ H**; the sign flip below is the
-    /// "and vice versa" wiring the paper mentions for the detector
-    /// polarity.
     pub fn measure_heading(&mut self, true_heading: Degrees) -> Reading {
         self.sequencer.start_fix();
-        let x = self.measure_axis(Axis::X, true_heading);
+        let x = self.design.measure_axis(Axis::X, true_heading);
         for _ in 0..self.sequencer.periods_per_axis() {
             self.sequencer.advance();
         }
-        let y = self.measure_axis(Axis::Y, true_heading);
+        let y = self.design.measure_axis(Axis::Y, true_heading);
         for _ in 0..self.sequencer.periods_per_axis() {
             self.sequencer.advance();
         }
         debug_assert_eq!(self.sequencer.state(), SequencerState::Compute);
 
-        let (heading, cycles) = match self.cordic.heading(-x.count, -y.count) {
+        let (heading, cycles) = match self.design.cordic.heading(-x.count, -y.count) {
             Ok(r) => (r.heading, r.cycles),
-            // A fully null field (shielded sensor): hold 0° like the
-            // hardware's result register would.
             Err(ComputeHeadingError::ZeroVector | ComputeHeadingError::Overflow) => {
-                (Degrees::ZERO, self.cordic.iterations())
+                (Degrees::ZERO, self.design.cordic.iterations())
             }
         };
         for _ in 0..8 {
@@ -189,8 +299,7 @@ impl Compass {
     /// true heading — the oracle the digital pipeline is compared
     /// against.
     pub fn reference_heading(&self, true_heading: Degrees) -> Degrees {
-        let (hx, hy) = self.pair.axial_fields(&self.config.field, true_heading);
-        Degrees::atan2(hy.value(), hx.value()).normalized()
+        self.design.reference_heading(true_heading)
     }
 }
 
@@ -222,6 +331,34 @@ mod tests {
             let err = r.heading.angular_distance(Degrees::new(deg)).value();
             assert!(err <= 1.0, "heading {deg}: got {}, err {err}", r.heading);
         }
+    }
+
+    #[test]
+    fn design_and_wrapper_agree_bitwise() {
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let mut c = Compass::from_design(design.clone());
+        for deg in [0.0, 45.0, 123.0, 359.0] {
+            let truth = Degrees::new(deg);
+            let from_design = design.measure_heading(truth);
+            let from_compass = c.measure_heading(truth);
+            assert_eq!(
+                from_design.heading.value().to_bits(),
+                from_compass.heading.value().to_bits(),
+                "at {deg}"
+            );
+            assert_eq!(from_design.x.count, from_compass.x.count);
+            assert_eq!(from_design.y.count, from_compass.y.count);
+        }
+    }
+
+    #[test]
+    fn design_is_shareable_across_threads() {
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let r = std::thread::scope(|s| {
+            let h = s.spawn(|| design.measure_heading(Degrees::new(90.0)));
+            h.join().expect("no panic")
+        });
+        assert!(r.heading.angular_distance(Degrees::new(90.0)).value() <= 1.0);
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub fn body_field(
         cr * after_pitch[1] + sr * after_pitch[2],
         -sr * after_pitch[1] + cr * after_pitch[2],
     ];
-    (Tesla::new(body[0]), Tesla::new(body[1]), Tesla::new(body[2]))
+    (
+        Tesla::new(body[0]),
+        Tesla::new(body[1]),
+        Tesla::new(body[2]),
+    )
 }
 
 /// The heading a naive two-axis compass (the paper's) indicates for a
@@ -89,12 +93,7 @@ pub fn two_axis_heading(field: &EarthField, heading: Degrees, attitude: Attitude
 /// ```text
 /// Bx' = Bx·cosθ + Bz·sinθ ... (undo pitch/roll, then atan2)
 /// ```
-pub fn tilt_compensated_heading(
-    bx: Tesla,
-    by: Tesla,
-    bz: Tesla,
-    attitude: Attitude,
-) -> Degrees {
+pub fn tilt_compensated_heading(bx: Tesla, by: Tesla, bz: Tesla, attitude: Attitude) -> Degrees {
     let (sp, cp) = attitude.pitch.to_radians().value().sin_cos();
     let (sr, cr) = attitude.roll.to_radians().value().sin_cos();
     // Undo roll on (y, z).
@@ -108,14 +107,25 @@ pub fn tilt_compensated_heading(
 /// Worst-case two-axis heading error over the full circle for a given
 /// tilt, sampled at `n` headings.
 pub fn worst_tilt_error(field: &EarthField, attitude: Attitude, n: usize) -> Degrees {
+    worst_tilt_error_par(field, attitude, n, &fluxcomp_exec::ExecPolicy::serial())
+}
+
+/// [`worst_tilt_error`] on the parallel engine: the headings are
+/// evaluated on `policy`'s worker pool and the maximum folded in sweep
+/// order, so the result is bit-identical to the serial scan.
+pub fn worst_tilt_error_par(
+    field: &EarthField,
+    attitude: Attitude,
+    n: usize,
+    policy: &fluxcomp_exec::ExecPolicy,
+) -> Degrees {
     assert!(n > 0, "need at least one heading");
-    let mut worst = 0.0f64;
-    for k in 0..n {
+    let errors = fluxcomp_exec::par_map_range(policy, n, |k| {
         let truth = Degrees::new(k as f64 * 360.0 / n as f64);
         let indicated = two_axis_heading(field, truth, attitude);
-        worst = worst.max(indicated.angular_distance(truth).value());
-    }
-    Degrees::new(worst)
+        indicated.angular_distance(truth).value()
+    });
+    Degrees::new(errors.into_iter().fold(0.0f64, f64::max))
 }
 
 #[cfg(test)]
@@ -214,6 +224,21 @@ mod tests {
         );
         assert!(by_level.value().abs() < 1e-15);
         assert!(by_rolled.value() > 1e-6, "vertical leakage expected");
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_bitwise() {
+        let tilt = Attitude::new(Degrees::new(12.0), Degrees::new(-7.0));
+        let serial = worst_tilt_error(&enschede(), tilt, 360);
+        for threads in [2, 4, 8] {
+            let par = worst_tilt_error_par(
+                &enschede(),
+                tilt,
+                360,
+                &fluxcomp_exec::ExecPolicy::with_threads(threads),
+            );
+            assert_eq!(serial.value().to_bits(), par.value().to_bits());
+        }
     }
 
     #[test]

@@ -164,9 +164,7 @@ mod tests {
             length: 2.0e-3,
             ..CoreGeometry::adapted()
         };
-        assert!(
-            long.effective_hk(HK_MATERIAL, BSAT) < short.effective_hk(HK_MATERIAL, BSAT)
-        );
+        assert!(long.effective_hk(HK_MATERIAL, BSAT) < short.effective_hk(HK_MATERIAL, BSAT));
     }
 
     #[test]

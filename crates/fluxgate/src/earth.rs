@@ -235,12 +235,10 @@ impl MagneticDisturbance {
 
     /// Applies the disturbance to clean body-frame components.
     pub fn apply(&self, bx: Tesla, by: Tesla) -> (Tesla, Tesla) {
-        let dx = Tesla::new(
-            self.soft_iron[0][0] * bx.value() + self.soft_iron[0][1] * by.value(),
-        ) + self.hard_iron.0;
-        let dy = Tesla::new(
-            self.soft_iron[1][0] * bx.value() + self.soft_iron[1][1] * by.value(),
-        ) + self.hard_iron.1;
+        let dx = Tesla::new(self.soft_iron[0][0] * bx.value() + self.soft_iron[0][1] * by.value())
+            + self.hard_iron.0;
+        let dy = Tesla::new(self.soft_iron[1][0] * bx.value() + self.soft_iron[1][1] * by.value())
+            + self.hard_iron.1;
         (dx, dy)
     }
 
@@ -331,10 +329,8 @@ mod tests {
 
     #[test]
     fn hard_iron_offsets_components() {
-        let d = MagneticDisturbance::hard(
-            Tesla::from_microtesla(5.0),
-            Tesla::from_microtesla(-3.0),
-        );
+        let d =
+            MagneticDisturbance::hard(Tesla::from_microtesla(5.0), Tesla::from_microtesla(-3.0));
         let (x, y) = d.apply(Tesla::from_microtesla(10.0), Tesla::from_microtesla(10.0));
         assert!((x.as_microtesla() - 15.0).abs() < 1e-9);
         assert!((y.as_microtesla() - 7.0).abs() < 1e-9);

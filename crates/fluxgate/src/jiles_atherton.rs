@@ -116,7 +116,11 @@ impl JilesAthertonCore {
     /// A demagnetised core (`M = 0`) at zero field.
     pub fn new(params: JaParams) -> Self {
         params.validate();
-        Self { params, m: 0.0, h: 0.0 }
+        Self {
+            params,
+            m: 0.0,
+            h: 0.0,
+        }
     }
 
     /// The parameters.
@@ -168,8 +172,8 @@ impl JilesAthertonCore {
             } else {
                 diff / denom
             };
-            let dm_dh = ((1.0 - p.c) * chi_irr + p.c * dm_an_dhe)
-                / (1.0 - p.alpha * p.c * dm_an_dhe);
+            let dm_dh =
+                ((1.0 - p.c) * chi_irr + p.c * dm_an_dhe) / (1.0 - p.alpha * p.c * dm_an_dhe);
             self.m += dm_dh * dh;
             self.h += dh;
             // Physical clamp: |M| ≤ Ms.
@@ -285,11 +289,7 @@ mod tests {
     fn coercivity_is_low_like_permalloy() {
         let hc = JilesAthertonCore::coercivity(params(), AmperePerMeter::new(240.0));
         // Soft magnetic film: a few A/m, well under the pinning k + a.
-        assert!(
-            (0.5..20.0).contains(&hc.value()),
-            "Hc = {} A/m",
-            hc.value()
-        );
+        assert!((0.5..20.0).contains(&hc.value()), "Hc = {} A/m", hc.value());
     }
 
     #[test]

@@ -135,12 +135,7 @@ impl SensorPair {
 
     /// The field strength seen by one axis only — what the multiplexed
     /// measurement cycle uses.
-    pub fn axial_field(
-        &self,
-        axis: Axis,
-        field: &EarthField,
-        heading: Degrees,
-    ) -> AmperePerMeter {
+    pub fn axial_field(&self, axis: Axis, field: &EarthField, heading: Degrees) -> AmperePerMeter {
         let (hx, hy) = self.axial_fields(field, heading);
         match axis {
             Axis::X => hx,
@@ -224,8 +219,7 @@ mod tests {
     #[test]
     fn hard_iron_disturbance_propagates() {
         let mut p = SensorPairParams::ideal();
-        p.disturbance =
-            MagneticDisturbance::hard(Tesla::from_microtesla(3.0), Tesla::ZERO);
+        p.disturbance = MagneticDisturbance::hard(Tesla::from_microtesla(3.0), Tesla::ZERO);
         let pair = SensorPair::new(p);
         let (hx_clean, _) = SensorPair::default().axial_fields(&field(), Degrees::new(90.0));
         let (hx_dist, _) = pair.axial_fields(&field(), Degrees::new(90.0));
@@ -236,7 +230,10 @@ mod tests {
     #[test]
     fn elements_share_parameters() {
         let pair = SensorPair::default();
-        assert_eq!(pair.element(Axis::X).params(), pair.element(Axis::Y).params());
+        assert_eq!(
+            pair.element(Axis::X).params(),
+            pair.element(Axis::Y).params()
+        );
     }
 
     #[test]

@@ -171,7 +171,9 @@ mod tests {
         let hot = sensor_at_temperature(&nominal, &ThermalCoefficients::typical(), 85.0);
         match (nominal.core, hot.core) {
             (
-                crate::core_model::CoreModel::Hysteretic { hc: hc0, hk: hk0, .. },
+                crate::core_model::CoreModel::Hysteretic {
+                    hc: hc0, hk: hk0, ..
+                },
                 crate::core_model::CoreModel::Hysteretic { hc, hk, .. },
             ) => {
                 let r0 = hc0.value() / hk0.value();

@@ -46,7 +46,10 @@ impl FluxgateParams {
     /// for low-power applications".
     pub fn kaw95() -> Self {
         Self {
-            core: CoreModel::anhysteretic(Tesla::new(0.5), fluxcomp_units::Oersted::new(1.0).to_ampere_per_meter()),
+            core: CoreModel::anhysteretic(
+                Tesla::new(0.5),
+                fluxcomp_units::Oersted::new(1.0).to_ampere_per_meter(),
+            ),
             turns_excitation: 40,
             turns_pickup: 60,
             magnetic_length: 1.0e-3,
@@ -119,7 +122,10 @@ impl Fluxgate {
     /// Panics if any geometric parameter is non-positive or a coil has
     /// zero turns.
     pub fn new(params: FluxgateParams) -> Self {
-        assert!(params.magnetic_length > 0.0, "magnetic length must be positive");
+        assert!(
+            params.magnetic_length > 0.0,
+            "magnetic length must be positive"
+        );
         assert!(params.core_area > 0.0, "core area must be positive");
         assert!(params.turns_excitation > 0, "excitation coil needs turns");
         assert!(params.turns_pickup > 0, "pickup coil needs turns");
@@ -183,8 +189,10 @@ impl Fluxgate {
     #[inline]
     pub fn inductance_swept(&self, h: AmperePerMeter, sweep: Sweep) -> Henry {
         let n = self.params.turns_excitation as f64;
-        Henry::new(n * n * self.params.core_area * self.params.core.mu_diff(h, sweep)
-            / self.params.magnetic_length)
+        Henry::new(
+            n * n * self.params.core_area * self.params.core.mu_diff(h, sweep)
+                / self.params.magnetic_length,
+        )
     }
 
     /// Voltage across the excitation coil while carrying current `i` with
@@ -199,8 +207,7 @@ impl Fluxgate {
         let dh_dt = self.dh_dt_from_current(di_dt);
         let sweep = Sweep::from_dh_dt(dh_dt);
         let mu = self.params.core.mu_diff(h, sweep);
-        let inductive =
-            self.params.turns_excitation as f64 * self.params.core_area * mu * dh_dt;
+        let inductive = self.params.turns_excitation as f64 * self.params.core_area * mu * dh_dt;
         self.params.r_excitation * i + Volt::new(inductive)
     }
 
@@ -302,7 +309,7 @@ mod tests {
     fn excitation_voltage_resistive_in_saturation_inductive_in_transit() {
         let s = sensor();
         let di_dt = 12e-3 / 62.5e-6; // paper's triangular slew: 192 A/s
-        // Deep in saturation (peak current): voltage ≈ R·i.
+                                     // Deep in saturation (peak current): voltage ≈ R·i.
         let i_peak = Ampere::new(6e-3);
         let v_sat = s.excitation_voltage(i_peak, di_dt, AmperePerMeter::ZERO);
         let v_resistive = s.params().r_excitation * i_peak;

@@ -302,10 +302,8 @@ impl TapController {
             TapState::UpdateIr => {
                 self.instruction = Instruction::decode(self.ir_shift);
             }
-            TapState::UpdateDr => {
-                if self.instruction == Instruction::Extest {
-                    self.boundary.update();
-                }
+            TapState::UpdateDr if self.instruction == Instruction::Extest => {
+                self.boundary.update();
             }
             _ => {}
         }

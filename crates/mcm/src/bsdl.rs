@@ -18,8 +18,14 @@ pub fn generate_bsdl(module: &McmAssembly, entity: &str) -> String {
     let _ = writeln!(out, "attribute TAP_SCAN_IN    of TDI : signal is true;");
     let _ = writeln!(out, "attribute TAP_SCAN_OUT   of TDO : signal is true;");
     let _ = writeln!(out, "attribute TAP_SCAN_MODE  of TMS : signal is true;");
-    let _ = writeln!(out, "attribute TAP_SCAN_CLOCK of TCK : signal is (4.0e6, BOTH);");
-    let _ = writeln!(out, "attribute INSTRUCTION_LENGTH of {entity}: entity is 4;");
+    let _ = writeln!(
+        out,
+        "attribute TAP_SCAN_CLOCK of TCK : signal is (4.0e6, BOTH);"
+    );
+    let _ = writeln!(
+        out,
+        "attribute INSTRUCTION_LENGTH of {entity}: entity is 4;"
+    );
     let _ = writeln!(out, "attribute INSTRUCTION_OPCODE of {entity}: entity is");
     for (name, inst) in [
         ("BYPASS", Instruction::Bypass),
@@ -37,10 +43,7 @@ pub fn generate_bsdl(module: &McmAssembly, entity: &str) -> String {
         "attribute IDCODE_REGISTER of {entity}: entity is \"{IDCODE:032b}\";"
     );
     let n = module.nets().len();
-    let _ = writeln!(
-        out,
-        "attribute BOUNDARY_LENGTH of {entity}: entity is {n};"
-    );
+    let _ = writeln!(out, "attribute BOUNDARY_LENGTH of {entity}: entity is {n};");
     let _ = writeln!(out, "attribute BOUNDARY_REGISTER of {entity}: entity is");
     for (i, net) in module.nets().iter().enumerate() {
         let function = match net.driver {

@@ -98,7 +98,7 @@ impl TapChain {
         self.clock(true, false); // SelectIrScan
         self.clock(false, false); // CaptureIr
         self.clock(false, false); // ShiftIr
-        // The die nearest TDO gets its opcode shifted first.
+                                  // The die nearest TDO gets its opcode shifted first.
         let total_bits = 4 * self.taps.len();
         let mut bits = Vec::with_capacity(total_bits);
         for inst in instructions.iter().rev() {
@@ -209,7 +209,11 @@ mod tests {
     fn mixed_configuration_path_length() {
         let mut chain = paper_chain();
         chain.reset();
-        chain.load_instructions(&[Instruction::Extest, Instruction::Bypass, Instruction::Bypass]);
+        chain.load_instructions(&[
+            Instruction::Extest,
+            Instruction::Bypass,
+            Instruction::Bypass,
+        ]);
         assert_eq!(chain.scan_path_bits(), 9 + 1 + 1);
         assert_eq!(chain.measure_scan_path(), 11);
     }

@@ -23,11 +23,7 @@ impl Signature {
             report
                 .patterns
                 .iter()
-                .map(|p| {
-                    p.mismatches
-                        .iter()
-                        .fold(0u32, |acc, &net| acc | (1 << net))
-                })
+                .map(|p| p.mismatches.iter().fold(0u32, |acc, &net| acc | (1 << net)))
                 .collect(),
         )
     }

@@ -10,9 +10,9 @@
 //! model and opens on nets whose counting code happens to be benign.
 
 use crate::bscan::BoundaryScanChain;
-use crate::substrate::McmAssembly;
 #[cfg(test)]
 use crate::substrate::Fault;
+use crate::substrate::McmAssembly;
 
 /// One pattern's outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]

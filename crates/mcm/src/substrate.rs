@@ -164,7 +164,9 @@ impl McmAssembly {
     /// one short per adjacent net pair (substrate shorts occur between
     /// neighbouring traces).
     pub fn all_single_faults(&self) -> Vec<Fault> {
-        let mut out: Vec<Fault> = (0..self.nets.len()).map(|net| Fault::Open { net }).collect();
+        let mut out: Vec<Fault> = (0..self.nets.len())
+            .map(|net| Fault::Open { net })
+            .collect();
         for a in 0..self.nets.len().saturating_sub(1) {
             out.push(Fault::Short { a, b: a + 1 });
         }
@@ -193,10 +195,10 @@ impl McmAssembly {
             }
         }
         let mut group_value: BTreeMap<usize, bool> = BTreeMap::new();
-        for i in 0..driven.len() {
+        for (i, &d) in driven.iter().enumerate() {
             let r = find(&mut group, i);
             let entry = group_value.entry(r).or_insert(true);
-            *entry &= driven[i]; // wired-AND
+            *entry &= d; // wired-AND
         }
         (0..driven.len())
             .map(|i| {
@@ -234,9 +236,10 @@ mod tests {
         assert!(m.passives().iter().any(|(n, p)| n == "r_osc_ref"
             && matches!(p, SubstratePassive::Resistor(r) if (r.value() - 12.5e6).abs() < 1.0)));
         // The decoupling capacitor obeys the > 400 pF rule.
-        assert!(m.passives().iter().any(
-            |(_, p)| matches!(p, SubstratePassive::Capacitor(c) if c.value() > 400e-12)
-        ));
+        assert!(m
+            .passives()
+            .iter()
+            .any(|(_, p)| matches!(p, SubstratePassive::Capacitor(c) if c.value() > 400e-12)));
     }
 
     #[test]

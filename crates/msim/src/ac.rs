@@ -94,6 +94,8 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Self;
+    // Division via the reciprocal is the standard complex identity.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -243,10 +245,19 @@ mod tests {
         // own numbers: permeable L = 200 µH, saturated ≈ 0.03 µH, both
         // in series with the 77 Ω coil resistance.
         let f = Hertz::new(100_000.0); // probe above the excitation
-        let z_perm = series(z_resistor(Ohm::new(77.0)), z_inductor(Henry::new(200e-6), f));
-        let z_sat = series(z_resistor(Ohm::new(77.0)), z_inductor(Henry::new(0.03e-6), f));
+        let z_perm = series(
+            z_resistor(Ohm::new(77.0)),
+            z_inductor(Henry::new(200e-6), f),
+        );
+        let z_sat = series(
+            z_resistor(Ohm::new(77.0)),
+            z_inductor(Henry::new(0.03e-6), f),
+        );
         assert!(z_perm.abs() > 1.5 * z_sat.abs());
-        assert!((z_sat.abs() - 77.0).abs() < 0.1, "saturated coil ≈ resistive");
+        assert!(
+            (z_sat.abs() - 77.0).abs() < 0.1,
+            "saturated coil ≈ resistive"
+        );
     }
 
     #[test]

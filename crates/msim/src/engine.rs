@@ -113,6 +113,13 @@ impl<E> MixedSignalSim<E> {
         A: FnMut(SimTime, f64, &mut TraceSet),
         D: FnMut(SimTime, E, &mut EventQueue<E>),
     {
+        if self.now < end {
+            // One analogue call per grid interval: channels registered
+            // before the run grow to their final size in one allocation.
+            let span = (end - self.now).picos() as u64;
+            let steps = span.div_ceil(self.dt.picos() as u64) as usize;
+            self.traces.reserve_all(steps);
+        }
         while self.now < end {
             let next = (self.now + self.dt).min(end);
             // Fire all digital events due up to and including the end of

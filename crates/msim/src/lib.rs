@@ -46,17 +46,17 @@
 pub mod ac;
 pub mod engine;
 pub mod montecarlo;
-pub mod spectrum;
 pub mod scheduler;
 pub mod solver;
+pub mod spectrum;
 pub mod time;
 pub mod trace;
 
 pub use ac::Complex;
 pub use engine::MixedSignalSim;
-pub use montecarlo::{run_monte_carlo, MonteCarloResult, Tolerance};
-pub use spectrum::{bin_magnitude, even_odd_ratio, goertzel, harmonic_profile};
+pub use montecarlo::{run_monte_carlo, run_monte_carlo_par, MonteCarloResult, Tolerance};
 pub use scheduler::EventQueue;
 pub use solver::{Method, OdeSolver};
+pub use spectrum::{bin_magnitude, even_odd_ratio, goertzel, harmonic_profile};
 pub use time::SimTime;
 pub use trace::{Trace, TraceSet};

@@ -6,9 +6,17 @@
 //! harness; the quantities being varied and the pass/fail criterion are
 //! the caller's closures, so the same harness drives the oscillator-
 //! tolerance study and the full compass-yield experiment (X3).
+//!
+//! Trials are seeded **per trial** via [`fluxcomp_exec::derive_seed`]
+//! rather than drawn from one sequential generator. That makes every
+//! trial a pure function of `(seed, trial index)`, which is what lets
+//! [`run_monte_carlo_par`] farm trials out to a worker pool and still
+//! return results bit-identical to the serial [`run_monte_carlo`].
 
+use fluxcomp_exec::{derive_seed, par_map_range, ExecPolicy, SortedSamples, StreamStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::OnceCell;
 
 /// A sampled parameter: nominal value and tolerance model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,8 +53,16 @@ impl Tolerance {
 /// One Monte-Carlo trial's sampled factors, keyed by parameter index.
 pub type Sample = Vec<f64>;
 
+/// Draws the factor vector of trial `index` for a run seeded with
+/// `seed`. Pure: the same `(seed, index)` always yields the same sample,
+/// independent of any other trial.
+pub fn draw_sample(tolerances: &[Tolerance], seed: u64, index: usize) -> Sample {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, index as u64));
+    tolerances.iter().map(|t| t.sample(&mut rng)).collect()
+}
+
 /// The outcome of a Monte-Carlo run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MonteCarloResult {
     /// Number of trials.
     pub trials: usize,
@@ -54,47 +70,73 @@ pub struct MonteCarloResult {
     pub passes: usize,
     /// The metric value of every trial, in order.
     pub metrics: Vec<f64>,
+    stats: StreamStats,
+    sorted: OnceCell<SortedSamples>,
+}
+
+impl PartialEq for MonteCarloResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.trials == other.trials && self.passes == other.passes && self.metrics == other.metrics
+    }
 }
 
 impl MonteCarloResult {
+    /// Builds a result from per-trial metrics, accumulating the summary
+    /// statistics in the same pass.
+    pub fn new(trials: usize, passes: usize, metrics: Vec<f64>) -> Self {
+        let stats = StreamStats::from_samples(metrics.iter().copied());
+        Self {
+            trials,
+            passes,
+            metrics,
+            stats,
+            sorted: OnceCell::new(),
+        }
+    }
+
     /// Yield = passes / trials.
     pub fn yield_fraction(&self) -> f64 {
         self.passes as f64 / self.trials.max(1) as f64
     }
 
-    /// Mean of the metric.
+    /// Mean of the metric (cached at construction).
     pub fn mean(&self) -> f64 {
-        self.metrics.iter().sum::<f64>() / self.metrics.len().max(1) as f64
+        self.stats.mean()
     }
 
-    /// Standard deviation of the metric.
+    /// Standard deviation of the metric (population σ, cached at
+    /// construction).
     pub fn std_dev(&self) -> f64 {
-        let m = self.mean();
-        (self.metrics.iter().map(|x| (x - m).powi(2)).sum::<f64>()
-            / self.metrics.len().max(1) as f64)
-            .sqrt()
+        self.stats.std_dev()
     }
 
-    /// The `q`-quantile of the metric (0.5 = median), by sorting.
+    /// The single-pass summary statistics of the metric.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The `q`-quantile of the metric (0.5 = median). The metrics are
+    /// sorted once, on first call; repeated queries reuse the sorted
+    /// copy.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]` or there are no trials.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         assert!(!self.metrics.is_empty(), "no trials");
-        let mut sorted = self.metrics.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        sorted[idx]
+        self.sorted
+            .get_or_init(|| SortedSamples::new(&self.metrics))
+            .quantile(q)
     }
 }
 
-/// Runs `trials` Monte-Carlo trials.
+/// Runs `trials` Monte-Carlo trials serially.
 ///
 /// For each trial, one factor per entry of `tolerances` is drawn; the
 /// `evaluate` closure turns the factors into a scalar metric; `passes`
-/// judges it. Fully deterministic for a given `seed`.
+/// judges it. Fully deterministic for a given `seed`, and — because
+/// every trial is seeded independently via [`derive_seed`] —
+/// bit-identical to [`run_monte_carlo_par`] at any worker count.
 pub fn run_monte_carlo<F, P>(
     tolerances: &[Tolerance],
     trials: usize,
@@ -106,22 +148,43 @@ where
     F: FnMut(&Sample) -> f64,
     P: FnMut(f64) -> bool,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut metrics = Vec::with_capacity(trials);
     let mut pass_count = 0;
-    for _ in 0..trials {
-        let sample: Sample = tolerances.iter().map(|t| t.sample(&mut rng)).collect();
+    for k in 0..trials {
+        let sample = draw_sample(tolerances, seed, k);
         let metric = evaluate(&sample);
         if passes(metric) {
             pass_count += 1;
         }
         metrics.push(metric);
     }
-    MonteCarloResult {
-        trials,
-        passes: pass_count,
-        metrics,
-    }
+    MonteCarloResult::new(trials, pass_count, metrics)
+}
+
+/// Runs `trials` Monte-Carlo trials on a worker pool.
+///
+/// Sampling and evaluation of each trial run concurrently under
+/// `policy`; the pass judgement and statistics fold over the ordered
+/// metric vector on the calling thread, so for a pure `evaluate` the
+/// result — every metric bit, the pass count, the quantiles — is
+/// identical to the serial [`run_monte_carlo`].
+pub fn run_monte_carlo_par<F, P>(
+    tolerances: &[Tolerance],
+    trials: usize,
+    seed: u64,
+    policy: &ExecPolicy,
+    evaluate: F,
+    mut passes: P,
+) -> MonteCarloResult
+where
+    F: Fn(&Sample) -> f64 + Sync,
+    P: FnMut(f64) -> bool,
+{
+    let metrics = par_map_range(policy, trials, |k| {
+        evaluate(&draw_sample(tolerances, seed, k))
+    });
+    let pass_count = metrics.iter().filter(|&&m| passes(m)).count();
+    MonteCarloResult::new(trials, pass_count, metrics)
 }
 
 #[cfg(test)]
@@ -131,10 +194,43 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let tol = [Tolerance::Uniform { tol: 0.1 }];
-        let run = || {
-            run_monte_carlo(&tol, 50, 42, |s| s[0], |m| m > 1.0)
-        };
+        let run = || run_monte_carlo(&tol, 50, 42, |s| s[0], |m| m > 1.0);
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let tol = [
+            Tolerance::Uniform { tol: 0.1 },
+            Tolerance::Gaussian { rel_sigma: 0.03 },
+        ];
+        let eval = |s: &Sample| s[0] * s[1];
+        let serial = run_monte_carlo(&tol, 500, 0xC0FFEE, eval, |m| m > 1.0);
+        for threads in [1, 2, 4, 16] {
+            let par = run_monte_carlo_par(
+                &tol,
+                500,
+                0xC0FFEE,
+                &ExecPolicy::with_threads(threads),
+                eval,
+                |m| m > 1.0,
+            );
+            assert_eq!(serial, par, "at {threads} threads");
+            for (a, b) in serial.metrics.iter().zip(&par.metrics) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn trials_are_independent_of_trial_count() {
+        // Per-trial seeding means trial k draws the same factors whether
+        // the run has 10 or 10 000 trials — unlike a shared sequential
+        // generator.
+        let tol = [Tolerance::Uniform { tol: 0.1 }];
+        let short = run_monte_carlo(&tol, 10, 5, |s| s[0], |_| true);
+        let long = run_monte_carlo(&tol, 100, 5, |s| s[0], |_| true);
+        assert_eq!(short.metrics[..], long.metrics[..10]);
     }
 
     #[test]
@@ -166,7 +262,11 @@ mod tests {
         // yield ≈ 50 %.
         let tol = [Tolerance::Uniform { tol: 0.1 }];
         let r = run_monte_carlo(&tol, 10_000, 3, |s| s[0], |m| m > 1.0);
-        assert!((r.yield_fraction() - 0.5).abs() < 0.03, "{}", r.yield_fraction());
+        assert!(
+            (r.yield_fraction() - 0.5).abs() < 0.03,
+            "{}",
+            r.yield_fraction()
+        );
     }
 
     #[test]

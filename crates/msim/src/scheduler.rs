@@ -203,12 +203,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let q: EventQueue<u8> = vec![
-            (SimTime::from_nanos(2), 2u8),
-            (SimTime::from_nanos(1), 1u8),
-        ]
-        .into_iter()
-        .collect();
+        let q: EventQueue<u8> = vec![(SimTime::from_nanos(2), 2u8), (SimTime::from_nanos(1), 1u8)]
+            .into_iter()
+            .collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
     }

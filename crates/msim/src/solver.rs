@@ -124,37 +124,37 @@ impl OdeSolver {
         match self.method {
             Method::Euler => {
                 f(t, y, &mut self.k1);
-                for i in 0..self.dim {
-                    y[i] += dt * self.k1[i];
+                for (yi, k1) in y.iter_mut().zip(&self.k1) {
+                    *yi += dt * k1;
                 }
             }
             Method::Heun => {
                 f(t, y, &mut self.k1);
-                for i in 0..self.dim {
-                    self.tmp[i] = y[i] + dt * self.k1[i];
+                for (tmp, (yi, k1)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k1)) {
+                    *tmp = yi + dt * k1;
                 }
                 f(t + dt, &self.tmp, &mut self.k2);
-                for i in 0..self.dim {
-                    y[i] += dt * 0.5 * (self.k1[i] + self.k2[i]);
+                for (yi, (k1, k2)) in y.iter_mut().zip(self.k1.iter().zip(&self.k2)) {
+                    *yi += dt * 0.5 * (k1 + k2);
                 }
             }
             Method::Rk4 => {
                 f(t, y, &mut self.k1);
-                for i in 0..self.dim {
-                    self.tmp[i] = y[i] + 0.5 * dt * self.k1[i];
+                for (tmp, (yi, k1)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k1)) {
+                    *tmp = yi + 0.5 * dt * k1;
                 }
                 f(t + 0.5 * dt, &self.tmp, &mut self.k2);
-                for i in 0..self.dim {
-                    self.tmp[i] = y[i] + 0.5 * dt * self.k2[i];
+                for (tmp, (yi, k2)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k2)) {
+                    *tmp = yi + 0.5 * dt * k2;
                 }
                 f(t + 0.5 * dt, &self.tmp, &mut self.k3);
-                for i in 0..self.dim {
-                    self.tmp[i] = y[i] + dt * self.k3[i];
+                for (tmp, (yi, k3)) in self.tmp.iter_mut().zip(y.iter().zip(&self.k3)) {
+                    *tmp = yi + dt * k3;
                 }
                 f(t + dt, &self.tmp, &mut self.k4);
-                for i in 0..self.dim {
-                    y[i] += dt / 6.0
-                        * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+                for (i, yi) in y.iter_mut().enumerate() {
+                    *yi +=
+                        dt / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
                 }
             }
             Method::Trapezoidal => self.step_trapezoidal(t, dt, y, &mut f),
@@ -171,7 +171,7 @@ impl OdeSolver {
     {
         let n = self.dim;
         f(t, y, &mut self.k1); // f(t, y_n), fixed over the iteration
-        // Initial guess: explicit Euler.
+                               // Initial guess: explicit Euler.
         let mut z: Vec<f64> = (0..n).map(|i| y[i] + dt * self.k1[i]).collect();
         let mut residual = vec![0.0; n];
         let mut jac = vec![0.0; n * n];
@@ -382,7 +382,10 @@ mod tests {
                 t += dt;
             }
         }
-        assert!((trap[0] - reference[0]).abs() < 0.01, "{trap:?} vs {reference:?}");
+        assert!(
+            (trap[0] - reference[0]).abs() < 0.01,
+            "{trap:?} vs {reference:?}"
+        );
         assert!((trap[1] - reference[1]).abs() < 0.01);
     }
 
@@ -435,9 +438,9 @@ mod tests {
         let sine: Vec<f64> = (0..1000).map(|i| (w * i as f64 * dt).sin()).collect();
         let d = differentiate(&sine, dt);
         // Interior points: derivative ≈ w·cos(wt).
-        for i in 1..999 {
+        for (i, &di) in d.iter().enumerate().take(999).skip(1) {
             let expect = w * (w * i as f64 * dt).cos();
-            assert!((d[i] - expect).abs() < 0.02 * w, "at {i}");
+            assert!((di - expect).abs() < 0.02 * w, "at {i}");
         }
     }
 

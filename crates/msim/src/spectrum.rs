@@ -19,7 +19,10 @@
 /// Panics if the signal is empty or the rates are not positive.
 pub fn goertzel(samples: &[f64], sample_rate: f64, frequency: f64) -> (f64, f64) {
     assert!(!samples.is_empty(), "empty signal");
-    assert!(sample_rate > 0.0 && frequency >= 0.0, "rates must be positive");
+    assert!(
+        sample_rate > 0.0 && frequency >= 0.0,
+        "rates must be positive"
+    );
     let n = samples.len() as f64;
     let w = std::f64::consts::TAU * frequency / sample_rate;
     let coeff = 2.0 * w.cos();
@@ -123,7 +126,11 @@ mod tests {
         let expect_1 = 4.0 / std::f64::consts::PI;
         assert!((profile[0] - expect_1).abs() < 0.01, "h1 = {}", profile[0]);
         assert!(profile[1] < 0.01, "h2 = {}", profile[1]);
-        assert!((profile[2] - expect_1 / 3.0).abs() < 0.01, "h3 = {}", profile[2]);
+        assert!(
+            (profile[2] - expect_1 / 3.0).abs() < 0.01,
+            "h3 = {}",
+            profile[2]
+        );
         assert!(profile[3] < 0.01, "h4 = {}", profile[3]);
         assert!(even_odd_ratio(&profile) < 0.02);
     }

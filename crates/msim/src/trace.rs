@@ -32,6 +32,21 @@ impl Trace {
         }
     }
 
+    /// Creates an empty trace with room for `capacity` samples — use
+    /// when the sample count is known up front (a fixed-step transient
+    /// run records exactly `duration / dt` points per channel).
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        Self {
+            name: name.into(),
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
     /// The signal name.
     pub fn name(&self) -> &str {
         &self.name
@@ -111,7 +126,11 @@ impl Trace {
             };
             if crossed {
                 let dv = v1 - v0;
-                let frac = if dv == 0.0 { 0.0 } else { (threshold - v0) / dv };
+                let frac = if dv == 0.0 {
+                    0.0
+                } else {
+                    (threshold - v0) / dv
+                };
                 let dt = (t1 - t0).picos() as f64;
                 out.push(t0 + SimTime::from_picos((frac * dt).round() as i64));
             }
@@ -136,6 +155,22 @@ impl TraceSet {
     pub fn add(&mut self, name: impl Into<String>) -> usize {
         self.traces.push(Trace::new(name));
         self.traces.len() - 1
+    }
+
+    /// Adds a new empty trace preallocated for `capacity` samples and
+    /// returns its index.
+    pub fn add_with_capacity(&mut self, name: impl Into<String>, capacity: usize) -> usize {
+        self.traces.push(Trace::with_capacity(name, capacity));
+        self.traces.len() - 1
+    }
+
+    /// Reserves room for `additional` more samples on every trace —
+    /// called by fixed-step engines that know how many grid points a run
+    /// will record.
+    pub fn reserve_all(&mut self, additional: usize) {
+        for tr in &mut self.traces {
+            tr.reserve(additional);
+        }
     }
 
     /// Records a sample on the trace at `index`.
@@ -247,9 +282,12 @@ impl TraceSet {
         let t_span = ((t1 - t0).picos() as f64).max(1.0);
 
         let mut grid = vec![vec![b' '; width]; height];
+        // `col` picks the row *and* column to mark, so an iterator over
+        // `grid` would be the wrong dimension.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
-            let t = t0
-                + SimTime::from_picos((col as f64 / (width - 1) as f64 * t_span).round() as i64);
+            let t =
+                t0 + SimTime::from_picos((col as f64 / (width - 1) as f64 * t_span).round() as i64);
             let v = tr.sample_at(t)?;
             let row_f = (v - lo) / span * (height - 1) as f64;
             let row = height - 1 - (row_f.round() as usize).min(height - 1);
@@ -362,7 +400,7 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_s,a,b");
         assert_eq!(lines.len(), 4); // header + 3 distinct times
-        // Every row has 3 comma-separated fields.
+                                    // Every row has 3 comma-separated fields.
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), 3);
         }

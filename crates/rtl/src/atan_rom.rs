@@ -113,7 +113,12 @@ mod tests {
         // (up to the ±1 LSB of the Q8 ROM quantisation).
         for i in 4..11 {
             let diff = (rom.entry(i) - 2 * rom.entry(i + 1)).abs();
-            assert!(diff <= 2, "i={i}: {} vs 2×{}", rom.entry(i), rom.entry(i + 1));
+            assert!(
+                diff <= 2,
+                "i={i}: {} vs 2×{}",
+                rom.entry(i),
+                rom.entry(i + 1)
+            );
         }
     }
 

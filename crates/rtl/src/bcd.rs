@@ -129,11 +129,7 @@ mod tests {
             sim.settle();
             let expect = to_bcd(v, 3);
             for (d, nib) in nibbles.iter().enumerate() {
-                assert_eq!(
-                    sim.bus_value(nib) as u8,
-                    expect[d],
-                    "value {v}, digit {d}"
-                );
+                assert_eq!(sim.bus_value(nib) as u8, expect[d], "value {v}, digit {d}");
             }
         }
     }

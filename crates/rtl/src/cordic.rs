@@ -330,10 +330,7 @@ mod tests {
     #[test]
     fn overflow_is_an_error() {
         let c = CordicArctan::paper();
-        assert_eq!(
-            c.heading(1 << 50, 1),
-            Err(ComputeHeadingError::Overflow)
-        );
+        assert_eq!(c.heading(1 << 50, 1), Err(ComputeHeadingError::Overflow));
     }
 
     #[test]

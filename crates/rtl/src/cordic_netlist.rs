@@ -178,11 +178,7 @@ mod tests {
         sim.set_bus(&nets.x_in, 800);
         sim.set_bus(&nets.y_in, 600);
         sim.settle();
-        let netlist_rotations = nets
-            .rotates
-            .iter()
-            .filter(|&&r| sim.value(r))
-            .count() as u32;
+        let netlist_rotations = nets.rotates.iter().filter(|&&r| sim.value(r)).count() as u32;
         let behavioral = cordic.heading(800, 600).unwrap().rotations;
         assert_eq!(netlist_rotations, behavioral);
     }

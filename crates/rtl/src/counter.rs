@@ -165,7 +165,10 @@ mod tests {
         let mut c = UpDownCounter::paper_design();
         let stream = (0..1000).map(|k| k % 10 < 6);
         assert_eq!(c.run(stream), 200);
-        assert_eq!(ideal_count(0.6, Hertz::new(1000.0), 1.0).round() as i64, 200);
+        assert_eq!(
+            ideal_count(0.6, Hertz::new(1000.0), 1.0).round() as i64,
+            200
+        );
     }
 
     #[test]

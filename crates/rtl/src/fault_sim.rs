@@ -80,7 +80,9 @@ fn output_response(sim: &mut GateSim, inputs: &[NetId], pattern: u64) -> u64 {
     netlist_outputs
         .iter()
         .enumerate()
-        .fold(0u64, |acc, (k, &n)| acc | ((sim.value(n) as u64) << (k % 64)))
+        .fold(0u64, |acc, (k, &n)| {
+            acc | ((sim.value(n) as u64) << (k % 64))
+        })
 }
 
 /// Grades a combinational netlist against `patterns` random input
@@ -184,7 +186,10 @@ mod tests {
         let c4 = random_pattern_coverage(&nl, 4, 42).coverage();
         let c32 = random_pattern_coverage(&nl, 32, 42).coverage();
         let c128 = random_pattern_coverage(&nl, 128, 42).coverage();
-        assert!(c4 <= c32 + 1e-12 && c32 <= c128 + 1e-12, "{c4} {c32} {c128}");
+        assert!(
+            c4 <= c32 + 1e-12 && c32 <= c128 + 1e-12,
+            "{c4} {c32} {c128}"
+        );
         // Adders are random-pattern testable: high coverage fast. Full
         // 100 % is structurally impossible here — the constant carry-in
         // of bit 0 makes a handful of faults redundant (e.g. the

@@ -343,7 +343,7 @@ mod tests {
         let mut nl = Netlist::new();
         let bus = nl.input_bus(16);
         assert_eq!(bus.len(), 16);
-        assert!(nl.is_empty() == false);
+        assert!(!nl.is_empty());
         assert_eq!(nl.stats().inputs, 16);
     }
 }

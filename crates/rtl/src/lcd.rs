@@ -60,11 +60,11 @@ impl SegmentPattern {
     /// by `U` as real watch LCDs do).
     pub fn letter(c: char) -> Option<Self> {
         Some(Self(match c.to_ascii_uppercase() {
-            'N' => 0b011_0111, // abcef
-            'E' => 0b111_1001, // adefg
-            'S' => 0b110_1101, // same as 5
+            'N' => 0b011_0111,       // abcef
+            'E' => 0b111_1001,       // adefg
+            'S' => 0b110_1101,       // same as 5
             'W' | 'U' => 0b011_1110, // bcdef (a "U")
-            '-' => 0b100_0000, // g only
+            '-' => 0b100_0000,       // g only
             _ => return None,
         }))
     }

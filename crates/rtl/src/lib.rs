@@ -77,19 +77,19 @@ pub mod watch_extras;
 
 pub use adc::SarAdc;
 pub use atan_rom::AtanRom;
+pub use bcd::{double_dabble_netlist, to_bcd};
 pub use clock::{ClockDivider, ClockTree};
 pub use cordic::{ComputeHeadingError, CordicArctan, HeadingResult};
+pub use cordic_netlist::{cordic_kernel_netlist, CordicKernelNets};
 pub use counter::UpDownCounter;
+pub use fault_sim::{enumerate_faults, random_pattern_coverage, FaultCoverage, StuckAtFault};
 pub use gates::{GateKind, NetId, Netlist, NetlistStats};
 pub use lcd::{DisplayDriver, DisplayFrame, DisplayMode};
 pub use netsim::GateSim;
+pub use scan::{insert_scan, ScanChain};
 pub use sequencer::{Enables, Sequencer, SequencerState};
+pub use sequencer_netlist::{sequencer_netlist, SequencerNets};
+pub use timing::{analyze as timing_analyze, DelayModel, TimingReport};
+pub use vhdl::to_vhdl;
 pub use watch::{TimeOfDay, Watch};
 pub use watch_extras::{Alarm, CalendarDate, Stopwatch};
-pub use cordic_netlist::{cordic_kernel_netlist, CordicKernelNets};
-pub use vhdl::to_vhdl;
-pub use timing::{analyze as timing_analyze, DelayModel, TimingReport};
-pub use scan::{insert_scan, ScanChain};
-pub use sequencer_netlist::{sequencer_netlist, SequencerNets};
-pub use fault_sim::{enumerate_faults, random_pattern_coverage, FaultCoverage, StuckAtFault};
-pub use bcd::{double_dabble_netlist, to_bcd};

@@ -83,10 +83,7 @@ pub fn arith_shift_right(nl: &mut Netlist, bus: &[NetId], k: u32) -> Vec<NetId> 
 /// A 2:1 mux over buses.
 pub fn bus_mux(nl: &mut Netlist, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
     assert_eq!(a.len(), b.len(), "mux bus widths must match");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| nl.mux(sel, x, y))
-        .collect()
+    a.iter().zip(b).map(|(&x, &y)| nl.mux(sel, x, y)).collect()
 }
 
 /// The synthesised up/down counter: a `width`-bit register plus a ±1
@@ -131,7 +128,14 @@ pub fn updown_counter(width: u32) -> (Netlist, NetId, Vec<NetId>) {
 pub fn cordic_step(
     width: u32,
     i: u32,
-) -> (Netlist, Vec<NetId>, Vec<NetId>, Vec<NetId>, Vec<NetId>, NetId) {
+) -> (
+    Netlist,
+    Vec<NetId>,
+    Vec<NetId>,
+    Vec<NetId>,
+    Vec<NetId>,
+    NetId,
+) {
     assert!((2..=48).contains(&width), "width must be in 2..=48");
     assert!(i < width, "shift must be less than the width");
     let mut nl = Netlist::new();
@@ -154,7 +158,6 @@ pub fn cordic_step(
     nl.mark_output("rotate", rotate);
     (nl, x, y, x_out, y_out, rotate)
 }
-
 
 /// Equality comparator against a constant: AND-reduction of per-bit
 /// XNORs (clear bits via NOT).
@@ -184,7 +187,10 @@ pub fn equals_const(nl: &mut Netlist, bus: &[NetId], value: i64) -> NetId {
 /// Panics if `modulus < 2` or does not fit `width` bits.
 pub fn modulo_counter(modulus: u32, width: u32) -> (Netlist, NetId, Vec<NetId>, NetId) {
     assert!(modulus >= 2, "modulus must be at least 2");
-    assert!((modulus as u64) <= (1u64 << width), "modulus must fit the width");
+    assert!(
+        (modulus as u64) <= (1u64 << width),
+        "modulus must fit the width"
+    );
     let mut nl = Netlist::new();
     let enable = nl.input();
     let zero = nl.constant(false);
@@ -313,11 +319,11 @@ pub fn full_compass_inventory() -> Vec<BlockInventory> {
 
     // Estimated standard blocks.
     for (name, t) in [
-        ("atan_rom_8x14", 8u32 * 14 * 6),      // ROM bits as wired NOR array
-        ("sequencer_fsm", 1_200),              // ~30 flops + decode
-        ("watch_divider_22", 22 * 30),         // 22 ripple stages
-        ("watch_time_counters", 2_400),        // hh:mm:ss BCD chain
-        ("lcd_driver_6x7seg", 6 * 7 * 40),     // segment latch + driver
+        ("atan_rom_8x14", 8u32 * 14 * 6),  // ROM bits as wired NOR array
+        ("sequencer_fsm", 1_200),          // ~30 flops + decode
+        ("watch_divider_22", 22 * 30),     // 22 ripple stages
+        ("watch_time_counters", 2_400),    // hh:mm:ss BCD chain
+        ("lcd_driver_6x7seg", 6 * 7 * 40), // segment latch + driver
         ("display_mux_glue", 1_500),
         ("clock_gating_power_ctl", 600),
         ("bscan_interface", 900),
@@ -353,7 +359,14 @@ mod tests {
         let b = nl.input_bus(8);
         let s = ripple_adder(&mut nl, &a, &b);
         let mut sim = GateSim::new(nl);
-        for (x, y) in [(0i64, 0i64), (1, 1), (100, 27), (-5, 3), (-128, 127), (77, -77)] {
+        for (x, y) in [
+            (0i64, 0i64),
+            (1, 1),
+            (100, 27),
+            (-5, 3),
+            (-128, 127),
+            (77, -77),
+        ] {
             sim.set_bus(&a, x);
             sim.set_bus(&b, y);
             sim.settle();
@@ -421,7 +434,13 @@ mod tests {
         for i in [0u32, 1, 3, 5] {
             let (nl, x_in, y_in, x_out, y_out, rotate) = cordic_step(20, i);
             let mut sim = GateSim::new(nl);
-            for (x, y) in [(1000i64, 600i64), (500, 500), (12345, 7), (3, 12345), (1, 0)] {
+            for (x, y) in [
+                (1000i64, 600i64),
+                (500, 500),
+                (12345, 7),
+                (3, 12345),
+                (1, 0),
+            ] {
                 sim.set_bus(&x_in, x);
                 sim.set_bus(&y_in, y);
                 sim.settle();
@@ -454,7 +473,10 @@ mod tests {
             .filter(|b| b.synthesized)
             .map(|b| b.transistors)
             .sum();
-        assert!(synth * 2 > total, "synthesised share too small: {synth}/{total}");
+        assert!(
+            synth * 2 > total,
+            "synthesised share too small: {synth}/{total}"
+        );
         assert!(inv.iter().any(|b| b.name.starts_with("cordic")));
     }
 
@@ -466,7 +488,6 @@ mod tests {
         let t16 = c16.stats().transistors;
         assert!(t16 > 18 * 8 && t16 < 2 * t8 + 64, "t8={t8} t16={t16}");
     }
-
 
     #[test]
     fn equals_const_detects_exact_value() {

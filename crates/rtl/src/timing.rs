@@ -208,7 +208,11 @@ mod tests {
         );
         assert!(report.slack_at(clock).value() > 0.0);
         // And the margin is comfortable but not absurd (ripple carry!).
-        assert!(report.critical_path_ns > 20.0, "{}", report.critical_path_ns);
+        assert!(
+            report.critical_path_ns > 20.0,
+            "{}",
+            report.critical_path_ns
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub fn to_vhdl(netlist: &Netlist, entity: &str) -> String {
     let mut has_dff = false;
     for idx in 0..netlist.len() {
         match netlist.kind(crate::gates::NetId(idx as u32)) {
-            GateKind::Input => ports.push(format!("    {} : in  std_logic", net_name(netlist, idx))),
+            GateKind::Input => {
+                ports.push(format!("    {} : in  std_logic", net_name(netlist, idx)))
+            }
             GateKind::Dff => has_dff = true,
             _ => {}
         }
@@ -36,7 +38,11 @@ pub fn to_vhdl(netlist: &Netlist, entity: &str) -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "library ieee;\nuse ieee.std_logic_1164.all;\n");
-    let _ = writeln!(out, "entity {entity} is\n  port (\n{}\n  );\nend {entity};\n", ports.join(";\n"));
+    let _ = writeln!(
+        out,
+        "entity {entity} is\n  port (\n{}\n  );\nend {entity};\n",
+        ports.join(";\n")
+    );
     let _ = writeln!(out, "architecture structural of {entity} is");
 
     // Internal signal declarations (everything that is not an input).

@@ -139,7 +139,11 @@ impl CalendarDate {
     /// Panics on an invalid month or day.
     pub fn new(year: u16, month: u8, day: u8) -> Self {
         assert!((1..=12).contains(&month), "month out of range");
-        let d = Self { year, month, day: 1 };
+        let d = Self {
+            year,
+            month,
+            day: 1,
+        };
         assert!(
             day >= 1 && day <= d.days_in_month(),
             "day out of range for the month"
@@ -149,7 +153,8 @@ impl CalendarDate {
 
     /// `true` for Gregorian leap years.
     pub fn is_leap_year(&self) -> bool {
-        (self.year % 4 == 0 && self.year % 100 != 0) || self.year % 400 == 0
+        (self.year.is_multiple_of(4) && !self.year.is_multiple_of(100))
+            || self.year.is_multiple_of(400)
     }
 
     /// Days in the current month.

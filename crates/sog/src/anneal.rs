@@ -46,7 +46,10 @@ impl AnnealSchedule {
             self.cooling > 0.0 && self.cooling < 1.0,
             "cooling must be in (0, 1)"
         );
-        assert!(self.sweeps > 0 && self.moves_per_sweep > 0, "empty schedule");
+        assert!(
+            self.sweeps > 0 && self.moves_per_sweep > 0,
+            "empty schedule"
+        );
     }
 }
 
@@ -201,7 +204,10 @@ mod tests {
             .collect();
         sites_before.sort_unstable();
         sites_after.sort_unstable();
-        assert_eq!(sites_before, sites_after, "sites must be permuted, not invented");
+        assert_eq!(
+            sites_before, sites_after,
+            "sites must be permuted, not invented"
+        );
     }
 
     #[test]

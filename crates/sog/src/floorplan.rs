@@ -83,7 +83,10 @@ impl fmt::Display for PlaceBlockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlaceBlockError::BlockTooLarge { block, sites } => {
-                write!(f, "block `{block}` needs {sites} sites, more than a quarter")
+                write!(
+                    f,
+                    "block `{block}` needs {sites} sites, more than a quarter"
+                )
             }
             PlaceBlockError::OutOfCapacity { domain } => {
                 write!(f, "no remaining quarter for the {domain} domain")
@@ -168,10 +171,7 @@ impl Floorplan {
                 let quarters = self.array.quarters_mut();
                 quarters[qi].used_sites += block.sites;
                 quarters[qi].domain = Some(block.domain);
-                self.placements.push(Placement {
-                    block,
-                    quarter: qi,
-                });
+                self.placements.push(Placement { block, quarter: qi });
                 return Ok(qi);
             }
         }
@@ -228,7 +228,11 @@ impl Floorplan {
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Sea-of-Gates floorplan ({} quarters)", self.array.quarters().len());
+        let _ = writeln!(
+            out,
+            "Sea-of-Gates floorplan ({} quarters)",
+            self.array.quarters().len()
+        );
         for q in self.array.quarters() {
             let domain = q
                 .domain
@@ -338,7 +342,8 @@ mod tests {
     #[test]
     fn analog_occupancy_metric() {
         let mut fp = Floorplan::fishbone();
-        fp.place(Block::new("a", 3_000, PowerDomain::Analog)).unwrap();
+        fp.place(Block::new("a", 3_000, PowerDomain::Analog))
+            .unwrap();
         assert!((fp.analog_quarter_occupancy() - 0.12).abs() < 1e-12);
     }
 

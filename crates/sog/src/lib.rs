@@ -47,10 +47,10 @@ pub mod placement;
 pub mod power_grid;
 pub mod routing;
 
+pub use anneal::{anneal, AnnealSchedule, AnnealStats};
 pub use fabric::{CapacitorPlan, PowerDomain, Quarter, SogArray};
 pub use floorplan::{Block, Floorplan, PlaceBlockError, Placement};
 pub use library::AnalogMacro;
 pub use placement::{CellSite, DetailedPlacement, PlaceCell, PlaceNet};
-pub use routing::{RoutingModel, RoutingReport};
-pub use anneal::{anneal, AnnealSchedule, AnnealStats};
 pub use power_grid::{isolation_report, IsolationReport, SupplySpine};
+pub use routing::{RoutingModel, RoutingReport};

@@ -110,7 +110,10 @@ mod tests {
         let i = Ampere::new(2e-3);
         let uniform = spine.far_end_droop(i).value();
         let lumped = spine.far_end_droop_lumped(i).value();
-        assert!((uniform / lumped - 0.5).abs() < 0.01, "{uniform} vs {lumped}");
+        assert!(
+            (uniform / lumped - 0.5).abs() < 0.01,
+            "{uniform} vs {lumped}"
+        );
     }
 
     #[test]

@@ -13,9 +13,15 @@ use fluxcomp::mcm::TapController;
 
 fn main() {
     let module = McmAssembly::paper_module();
-    println!("MCM: SoG die + 2 fluxgate sensor dies, {} substrate nets", module.nets().len());
+    println!(
+        "MCM: SoG die + 2 fluxgate sensor dies, {} substrate nets",
+        module.nets().len()
+    );
     for (i, net) in module.nets().iter().enumerate() {
-        println!("  net {i}: {:<10} {:?} -> {:?}", net.name, net.driver, net.receivers);
+        println!(
+            "  net {i}: {:<10} {:?} -> {:?}",
+            net.name, net.driver, net.receivers
+        );
     }
     for (name, p) in module.passives() {
         println!("  substrate passive: {name} = {p:?}");
@@ -65,5 +71,8 @@ fn main() {
     );
 
     let coverage = tester.coverage(&module);
-    println!("\nsingle-fault coverage over all opens + adjacent shorts: {:.0} %", coverage * 100.0);
+    println!(
+        "\nsingle-fault coverage over all opens + adjacent shorts: {:.0} %",
+        coverage * 100.0
+    );
 }

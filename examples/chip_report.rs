@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<28} {:>7} transistors {}",
             entry.name,
             entry.transistors,
-            if entry.synthesized { "(netlist)" } else { "(estimate)" }
+            if entry.synthesized {
+                "(netlist)"
+            } else {
+                "(estimate)"
+            }
         );
     }
     println!(

@@ -65,12 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The power story (paper §2/§4): the sequencer's duty-cycled
     // schedule vs always-on.
     let pm = PowerModel::at_5v();
-    let fix_duty = compass
-        .sequencer()
-        .analog_duty_per_fix(8_000.0); // one fix per second at 8 kHz
+    let fix_duty = compass.sequencer().analog_duty_per_fix(8_000.0); // one fix per second at 8 kHz
     let always = pm.average_power(&Schedule::paper_multiplexed());
     let pulsed = pm.average_power(&Schedule::duty_cycled(fix_duty));
-    println!("average power, measuring continuously: {:.2} mW", always.value() * 1e3);
+    println!(
+        "average power, measuring continuously: {:.2} mW",
+        always.value() * 1e3
+    );
     println!(
         "average power, one fix per second:     {:.3} mW  ({:.0}x less)",
         pulsed.value() * 1e3,

@@ -17,8 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut compass = Compass::new(CompassConfig::paper_design())?;
     let result = walk_route(&mut compass, &square_route(1_000.0));
     println!("clean compass:");
-    println!("  closing error: {:.1} m ({:.3} % of distance)",
-        result.position_error(), result.relative_error() * 100.0);
+    println!(
+        "  closing error: {:.1} m ({:.3} % of distance)",
+        result.position_error(),
+        result.relative_error() * 100.0
+    );
 
     let mut cfg = CompassConfig::paper_design();
     cfg.pair.disturbance =
@@ -26,19 +29,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut disturbed = Compass::new(cfg)?;
     let result = walk_route(&mut disturbed, &square_route(1_000.0));
     println!("\nwith 4 µT of hard iron on the platform (no calibration):");
-    println!("  closing error: {:.1} m ({:.2} % of distance)",
-        result.position_error(), result.relative_error() * 100.0);
-    println!("  indicated headings on the four legs: {}",
-        result.indicated_headings.iter()
+    println!(
+        "  closing error: {:.1} m ({:.2} % of distance)",
+        result.position_error(),
+        result.relative_error() * 100.0
+    );
+    println!(
+        "  indicated headings on the four legs: {}",
+        result
+            .indicated_headings
+            .iter()
             .map(|h| format!("{:.1}°", h.value()))
             .collect::<Vec<_>>()
-            .join(", "));
+            .join(", ")
+    );
 
     // A longer expedition: 10 random-ish legs.
     println!("\nexpedition: ten legs, 12.3 km total");
     let route: Vec<Leg> = [
-        (37.0, 1500.0), (85.0, 900.0), (152.0, 2000.0), (200.0, 800.0), (231.0, 1100.0),
-        (270.0, 1700.0), (305.0, 1300.0), (340.0, 600.0), (20.0, 1400.0), (65.0, 1000.0),
+        (37.0, 1500.0),
+        (85.0, 900.0),
+        (152.0, 2000.0),
+        (200.0, 800.0),
+        (231.0, 1100.0),
+        (270.0, 1700.0),
+        (305.0, 1300.0),
+        (340.0, 600.0),
+        (20.0, 1400.0),
+        (65.0, 1000.0),
     ]
     .into_iter()
     .map(|(h, d)| Leg::new(Degrees::new(h), d))

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compass.config().cordic_iterations
     );
 
-    println!("{:>12} {:>12} {:>8} {:>8} {:>8}", "true", "measured", "err", "x_cnt", "y_cnt");
+    println!(
+        "{:>12} {:>12} {:>8} {:>8} {:>8}",
+        "true", "measured", "err", "x_cnt", "y_cnt"
+    );
     for deg in [0.0, 45.0, 123.0, 200.0, 300.0, 359.0] {
         let truth = Degrees::new(deg);
         let reading = compass.measure_heading(truth);

@@ -5,9 +5,7 @@
 //! cargo run --example tilt_demo
 //! ```
 
-use fluxcomp::compass::tilt::{
-    body_field, tilt_compensated_heading, two_axis_heading, Attitude,
-};
+use fluxcomp::compass::tilt::{body_field, tilt_compensated_heading, two_axis_heading, Attitude};
 use fluxcomp::fluxgate::earth::{EarthField, Location};
 use fluxcomp::units::Degrees;
 
@@ -26,7 +24,13 @@ fn main() {
         "{:>7} {:>6} {:>16} {:>18}",
         "pitch", "roll", "2-axis reading", "3-axis compensated"
     );
-    for (p, r) in [(0.0, 0.0), (5.0, 0.0), (10.0, 0.0), (10.0, 10.0), (20.0, -15.0)] {
+    for (p, r) in [
+        (0.0, 0.0),
+        (5.0, 0.0),
+        (10.0, 0.0),
+        (10.0, 10.0),
+        (20.0, -15.0),
+    ] {
         let att = Attitude::new(Degrees::new(p), Degrees::new(r));
         let naive = two_axis_heading(&field, truth, att);
         let (bx, by, bz) = body_field(&field, truth, att);

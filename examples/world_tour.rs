@@ -12,19 +12,26 @@
 //! cargo run --release --example world_tour
 //! ```
 
-use fluxcomp::compass::{evaluate::sweep_headings, Compass, CompassConfig};
+use fluxcomp::compass::{evaluate::sweep_headings_par, CompassConfig, CompassDesign};
+use fluxcomp::exec::ExecPolicy;
 use fluxcomp::fluxgate::earth::Location;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("world tour: heading accuracy vs local field magnitude\n");
+    // One worker per core (override with FLUXCOMP_THREADS); the sweep
+    // statistics are bit-identical to a serial run either way.
+    let policy = ExecPolicy::auto();
+    println!(
+        "world tour: heading accuracy vs local field magnitude ({} sweep workers)\n",
+        policy.threads()
+    );
     println!(
         "{:<14} {:>8} {:>10} {:>10} {:>10} {:>6}",
         "location", "B_total", "B_horiz", "max err", "rms err", "spec"
     );
     for location in Location::ALL {
-        let mut compass = Compass::new(CompassConfig::at_location(location))?;
-        let stats = sweep_headings(&mut compass, 16);
-        let field = compass.config().field;
+        let design = CompassDesign::new(CompassConfig::at_location(location))?;
+        let stats = sweep_headings_par(&design, 16, &policy);
+        let field = design.config().field;
         println!(
             "{:<14} {:>6.0}µT {:>8.1}µT {:>9.2}° {:>9.2}° {:>6}",
             format!("{location:?}"),
@@ -32,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             field.horizontal_magnitude().as_microtesla(),
             stats.max_error.value(),
             stats.rms_error.value(),
-            if stats.meets_one_degree_spec() { "OK" } else { "MISS" }
+            if stats.meets_one_degree_spec() {
+                "OK"
+            } else {
+                "MISS"
+            }
         );
     }
     println!(

@@ -12,6 +12,8 @@
 //! This crate simply re-exports the workspace members under stable names:
 //!
 //! * [`units`] — physical quantities, angles, fixed-point formats
+//! * [`exec`] — the deterministic parallel sweep engine (scoped worker
+//!   pool, per-task seed derivation, streaming statistics)
 //! * [`msim`] — the mixed-signal (analogue + event-driven digital)
 //!   simulation kernel standing in for Anacad ELDO
 //! * [`fluxgate`] — sensor physics (saturable core, pickup EMF, earth field)
@@ -40,6 +42,7 @@
 
 pub use fluxcomp_afe as afe;
 pub use fluxcomp_compass as compass;
+pub use fluxcomp_exec as exec;
 pub use fluxcomp_fluxgate as fluxgate;
 pub use fluxcomp_mcm as mcm;
 pub use fluxcomp_msim as msim;

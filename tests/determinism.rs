@@ -1,0 +1,149 @@
+//! The determinism contract of the sweep engine: every parallel entry
+//! point must produce results that are **bit-for-bit identical** to the
+//! serial path at any worker count. This is what makes regression
+//! artefacts diffable across machines and CI runners.
+//!
+//! Strategy: run each workload serially (the classic `&mut Compass` /
+//! `run_monte_carlo` APIs), then on the engine with 1, 2 and N workers,
+//! and compare through `f64::to_bits` — no epsilon anywhere.
+
+use fluxcomp::compass::evaluate::{repeat_heading_par, sweep_headings, sweep_headings_par};
+use fluxcomp::compass::tilt::{worst_tilt_error, worst_tilt_error_par, Attitude};
+use fluxcomp::compass::{AccuracyStats, Compass, CompassConfig, CompassDesign};
+use fluxcomp::exec::ExecPolicy;
+use fluxcomp::fluxgate::earth::{EarthField, Location};
+use fluxcomp::msim::montecarlo::{run_monte_carlo, run_monte_carlo_par, Tolerance};
+use fluxcomp::units::Degrees;
+
+fn policies() -> Vec<ExecPolicy> {
+    vec![
+        ExecPolicy::serial(),
+        ExecPolicy::with_threads(1),
+        ExecPolicy::with_threads(2),
+        ExecPolicy::with_threads(3).with_chunk(1),
+        ExecPolicy::auto(),
+    ]
+}
+
+fn assert_stats_bitwise(a: &AccuracyStats, b: &AccuracyStats, what: &str) {
+    assert_eq!(
+        a.max_error.value().to_bits(),
+        b.max_error.value().to_bits(),
+        "{what}: max_error differs"
+    );
+    assert_eq!(
+        a.mean_error.value().to_bits(),
+        b.mean_error.value().to_bits(),
+        "{what}: mean_error differs"
+    );
+    assert_eq!(
+        a.rms_error.value().to_bits(),
+        b.rms_error.value().to_bits(),
+        "{what}: rms_error differs"
+    );
+    assert_eq!(
+        a.bias.value().to_bits(),
+        b.bias.value().to_bits(),
+        "{what}: bias differs"
+    );
+}
+
+#[test]
+fn heading_sweep_is_bit_identical_at_any_worker_count() {
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
+    let mut compass = Compass::from_design(design.clone());
+    let reference = sweep_headings(&mut compass, 48);
+    for policy in policies() {
+        let got = sweep_headings_par(&design, 48, &policy);
+        assert_stats_bitwise(
+            &got,
+            &reference,
+            &format!("sweep with {} threads", policy.threads()),
+        );
+    }
+}
+
+#[test]
+fn noisy_repeat_fixes_are_bit_identical_at_any_worker_count() {
+    let mut cfg = CompassConfig::paper_design();
+    cfg.frontend.pickup_noise_rms = 2e-3;
+    let design = CompassDesign::new(cfg).expect("valid design");
+    let truth = Degrees::new(123.0);
+    let reference = repeat_heading_par(&design, truth, 24, &ExecPolicy::serial());
+    for policy in policies() {
+        let got = repeat_heading_par(&design, truth, 24, &policy);
+        assert_eq!(got.len(), reference.len());
+        for (k, (a, b)) in got.iter().zip(reference.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "fix {k} with {} threads differs",
+                policy.threads()
+            );
+        }
+    }
+}
+
+#[test]
+fn tilt_scan_is_bit_identical_at_any_worker_count() {
+    let field = EarthField::at(Location::Enschede);
+    let att = Attitude::new(Degrees::new(10.0), Degrees::new(-5.0));
+    let reference = worst_tilt_error(&field, att, 360);
+    for policy in policies() {
+        let got = worst_tilt_error_par(&field, att, 360, &policy);
+        assert_eq!(
+            got.value().to_bits(),
+            reference.value().to_bits(),
+            "tilt scan with {} threads differs",
+            policy.threads()
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_is_bit_identical_at_any_worker_count() {
+    let tolerances = [
+        Tolerance::Gaussian { rel_sigma: 0.05 },
+        Tolerance::Uniform { tol: 0.02 },
+        Tolerance::Gaussian { rel_sigma: 0.01 },
+    ];
+    let evaluate = |s: &Vec<f64>| s.iter().map(|x| (x - 1.0).abs()).sum::<f64>();
+    let reference = run_monte_carlo(&tolerances, 64, 0xD1CE, evaluate, |m| m < 0.08);
+    for policy in policies() {
+        let got = run_monte_carlo_par(&tolerances, 64, 0xD1CE, &policy, evaluate, |m| m < 0.08);
+        assert_eq!(got.trials, reference.trials);
+        assert_eq!(
+            got.passes,
+            reference.passes,
+            "pass count with {} threads differs",
+            policy.threads()
+        );
+        for (k, (a, b)) in got.metrics.iter().zip(reference.metrics.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "metric {k} with {} threads differs",
+                policy.threads()
+            );
+        }
+        assert_eq!(got.mean().to_bits(), reference.mean().to_bits());
+        assert_eq!(got.std_dev().to_bits(), reference.std_dev().to_bits());
+        assert_eq!(
+            got.quantile(0.9).to_bits(),
+            reference.quantile(0.9).to_bits()
+        );
+    }
+}
+
+#[test]
+fn env_thread_override_does_not_change_results() {
+    // FLUXCOMP_THREADS only changes *how many* workers auto() uses; the
+    // fold order is fixed, so results cannot move. Exercise a handful of
+    // explicit counts standing in for the env override.
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
+    let reference = sweep_headings_par(&design, 24, &ExecPolicy::serial());
+    for threads in [1, 2, 4, 7, 16] {
+        let got = sweep_headings_par(&design, 24, &ExecPolicy::with_threads(threads));
+        assert_stats_bitwise(&got, &reference, &format!("{threads} explicit threads"));
+    }
+}

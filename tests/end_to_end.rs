@@ -44,12 +44,7 @@ fn magnitude_insensitivity_25_to_65_microtesla() {
 fn counter_transfer_function_matches_theory() {
     let mut compass = Compass::new(CompassConfig::paper_design()).expect("valid");
     let reading = compass.measure_heading(Degrees::new(0.0));
-    let h = compass
-        .config()
-        .field
-        .horizontal_magnitude()
-        .value()
-        / fluxcomp::units::MU_0;
+    let h = compass.config().field.horizontal_magnitude().value() / fluxcomp::units::MU_0;
     let h_peak = compass.peak_excitation_field().value();
     let window = 8.0 / 8_000.0;
     let expected = 4_194_304.0 * window * h / h_peak;

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's bench targets use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] and
+//! [`black_box`] — backed by a simple median-of-samples wall-clock
+//! timer instead of criterion's full statistical machinery.
+//!
+//! Each benchmark prints one line:
+//!
+//! ```text
+//! bench  e4_field_magnitude/full_compass_fix      1.234 ms/iter  (11 samples)
+//! ```
+//!
+//! Environment knobs: `FLUXCOMP_BENCH_TARGET_MS` (per-sample target
+//! time, default 20 ms) keeps total runtime bounded for CI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing state handed to the bench closure.
+pub struct Bencher {
+    /// Median per-iteration time of the collected samples.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples of an adaptively
+    /// chosen batch size.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let target = target_sample_time();
+        // Warm-up + batch sizing: run once, then pick a batch count that
+        // brings one sample near the target time.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        Some(s[s.len() / 2])
+    }
+}
+
+fn target_sample_time() -> Duration {
+    std::env::var("FLUXCOMP_BENCH_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(20))
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    let Some(med) = bencher.median() else {
+        eprintln!("bench  {id:<44} (no samples)");
+        return;
+    };
+    let ns = med.as_nanos() as f64;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    eprintln!(
+        "bench  {id:<44} {value:>10.3} {unit}/iter  ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// The top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.effective_sample_size(),
+        };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: None,
+            parent: self,
+        }
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            11
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: Option<usize>,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self
+                .sample_size
+                .unwrap_or_else(|| self.parent.effective_sample_size()),
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Ends the group (formatting parity with real criterion).
+    pub fn finish(self) {}
+}
+
+/// Declares the function `criterion_main!` calls.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        std::env::set_var("FLUXCOMP_BENCH_TARGET_MS", "1");
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("unit/counter", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_sample_size_and_finish() {
+        std::env::set_var("FLUXCOMP_BENCH_TARGET_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+}
