@@ -64,6 +64,20 @@ impl FrontEndConfig {
             measure_periods: 4,
         }
     }
+
+    /// Validates the configuration without constructing a channel.
+    ///
+    /// Returns the same message [`FrontEnd::new`] would panic with, so
+    /// callers can surface the problem as a recoverable error instead.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.samples_per_period < 16 {
+            return Err("need at least 16 samples per period");
+        }
+        if self.measure_periods == 0 {
+            return Err("need at least one measurement period");
+        }
+        self.sensor.check()
+    }
 }
 
 impl Default for FrontEndConfig {
@@ -109,14 +123,9 @@ impl FrontEnd {
     /// Panics if `samples_per_period < 16` or `measure_periods == 0`, or
     /// if the sensor parameters are invalid.
     pub fn new(config: FrontEndConfig) -> Self {
-        assert!(
-            config.samples_per_period >= 16,
-            "need at least 16 samples per period"
-        );
-        assert!(
-            config.measure_periods > 0,
-            "need at least one measurement period"
-        );
+        if let Err(reason) = config.check() {
+            panic!("{reason}");
+        }
         let sensor = Fluxgate::new(config.sensor);
         Self { config, sensor }
     }
@@ -160,6 +169,7 @@ impl FrontEnd {
     /// deterministic: derive one seed per run (e.g. with
     /// `fluxcomp_exec::derive_seed`) instead of mutating shared state.
     pub fn run_with_seed(&self, h_ext: AmperePerMeter, noise_seed: u64) -> FrontEndResult {
+        let _run = fluxcomp_obs::span("afe.run");
         let cfg = &self.config;
         let period = 1.0 / cfg.excitation.frequency().value();
         let n = cfg.samples_per_period;
@@ -178,6 +188,10 @@ impl FrontEnd {
 
         let mut detector_samples = Vec::with_capacity(cfg.measure_periods * n);
         let mut clipped = false;
+        // Pulse edges are tallied locally — one counter update per run,
+        // not per analogue sample.
+        let mut pulse_edges = 0u64;
+        let mut prev_out = false;
 
         for k in 0..total_periods * n {
             let t = k as f64 * dt;
@@ -202,6 +216,8 @@ impl FrontEnd {
 
             // Detector.
             let out = detector.step(v_pickup);
+            pulse_edges += u64::from(out != prev_out);
+            prev_out = out;
 
             traces.record(ch_i, sim_t, i.value());
             traces.record(ch_ve, sim_t, v_exc.value());
@@ -214,6 +230,14 @@ impl FrontEnd {
         }
 
         let duty = duty_cycle(&detector_samples).unwrap_or(0.5);
+        // The front-end drives its own analogue grid (it does not go
+        // through the msim engine), so it contributes its steps to the
+        // kernel-wide analogue step counter itself.
+        fluxcomp_obs::counter_add("msim.analog_steps", (total_periods * n) as u64);
+        fluxcomp_obs::counter_add("afe.runs", 1);
+        fluxcomp_obs::counter_add("afe.pulse_edges", pulse_edges);
+        fluxcomp_obs::counter_add("afe.clipped_runs", u64::from(clipped));
+        fluxcomp_obs::histogram_record("afe.duty", duty);
         FrontEndResult {
             duty,
             detector_samples,

@@ -82,6 +82,7 @@ pub fn simulate_relaxation(
         solver.step(t, dt.value(), &mut v, |_t, _y, dy| dy[0] = slope);
         t = (k + 1) as f64 * dt.value();
     }
+    solver.publish_obs();
 
     let measured_frequency =
         measure_frequency(traces.by_name("v_cap").expect("recorded"), v_low, v_high);

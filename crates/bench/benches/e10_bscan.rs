@@ -5,7 +5,7 @@
 //! over all opens and adjacent shorts, plus the large-passive placement
 //! rule. Times the tester and the TAP machinery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_mcm::chain::TapChain;
 use fluxcomp_mcm::diagnosis::FaultDictionary;
@@ -119,4 +119,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

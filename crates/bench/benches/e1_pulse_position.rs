@@ -6,7 +6,7 @@
 //! `duty = 1/2 − H/(2·H_peak)`, runs the comparator-hysteresis ablation
 //! under noise, and times the detector and the front-end transient.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_afe::detector::{DetectorConfig, PulsePositionDetector};
 use fluxcomp_afe::frontend::{FrontEnd, FrontEndConfig};
 use fluxcomp_bench::{banner, microtesla_to_h};
@@ -89,4 +89,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

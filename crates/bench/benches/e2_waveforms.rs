@@ -6,7 +6,7 @@
 //! in impedance" remark). Times the waveform generation and trace
 //! export.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_afe::frontend::{FrontEnd, FrontEndConfig};
 use fluxcomp_bench::{banner, microtesla_to_h};
 use fluxcomp_fluxgate::transducer::{Fluxgate, FluxgateParams};
@@ -117,4 +117,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

@@ -5,7 +5,7 @@
 //! kernel against `f64::atan2`, and times the unit (behavioural and as
 //! the synthesised gate-level micro-rotation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_exec::{par_map_range, ExecPolicy};
 use fluxcomp_rtl::cordic::CordicArctan;
@@ -102,4 +102,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

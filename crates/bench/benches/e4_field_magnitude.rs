@@ -5,10 +5,10 @@
 //! a pure-magnitude sweep at zero inclination, and shows the hard-iron
 //! calibration ablation. Times a complete compass fix.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::calibration::Calibration;
-use fluxcomp_compass::evaluate::{sweep_headings, sweep_headings_par};
+use fluxcomp_compass::evaluate::sweep_headings;
 use fluxcomp_compass::{Compass, CompassConfig, CompassDesign};
 use fluxcomp_exec::ExecPolicy;
 use fluxcomp_fluxgate::earth::{EarthField, Location, MagneticDisturbance};
@@ -31,8 +31,8 @@ fn print_experiment() {
     for ut in [10.0, 15.0, 25.0, 40.0, 55.0, 65.0] {
         let mut cfg = CompassConfig::paper_design();
         cfg.field = EarthField::horizontal(Tesla::from_microtesla(ut));
-        let mut compass = Compass::new(cfg).expect("valid config");
-        let stats = sweep_headings(&mut compass, 16);
+        let design = CompassDesign::new(cfg).expect("valid config");
+        let stats = sweep_headings(&design, 16, &ExecPolicy::serial());
         eprintln!(
             "  {ut:>8.0} {:>12.3} {:>12.3}",
             stats.max_error.value(),
@@ -48,7 +48,7 @@ fn print_experiment() {
     let policy = ExecPolicy::auto();
     for location in Location::ALL {
         let design = CompassDesign::new(CompassConfig::at_location(location)).expect("valid");
-        let stats = sweep_headings_par(&design, 12, &policy);
+        let stats = sweep_headings(&design, 12, &policy);
         let f = design.config().field;
         eprintln!(
             "  {:>14} {:>9.0} {:>10.1} {:>12.3}",
@@ -111,13 +111,13 @@ fn bench(c: &mut Criterion) {
     let mut sweep = c.benchmark_group("e4_sweep_360_headings");
     sweep.sample_size(3);
     sweep.bench_function("serial", |b| {
-        b.iter(|| black_box(sweep_headings_par(&design, 360, &serial)))
+        b.iter(|| black_box(sweep_headings(&design, 360, &serial)))
     });
     sweep.bench_function(&format!("parallel_{}_threads", auto.threads()), |b| {
-        b.iter(|| black_box(sweep_headings_par(&design, 360, &auto)))
+        b.iter(|| black_box(sweep_headings(&design, 360, &auto)))
     });
     sweep.finish();
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

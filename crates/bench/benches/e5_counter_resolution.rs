@@ -5,9 +5,9 @@
 //! whose quantisation fits inside the 1° budget (together with the
 //! 8-iteration CORDIC). Times counter integration at clock rate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::banner;
-use fluxcomp_compass::evaluate::sweep_headings_par;
+use fluxcomp_compass::evaluate::sweep_headings;
 use fluxcomp_compass::{CompassConfig, CompassDesign};
 use fluxcomp_exec::ExecPolicy;
 use fluxcomp_rtl::clock::ClockTree;
@@ -31,7 +31,7 @@ fn print_experiment() {
         let mut cfg = CompassConfig::paper_design();
         cfg.clock = ClockTree::with_master(clock);
         let design = CompassDesign::new(cfg).expect("valid");
-        let stats = sweep_headings_par(&design, 16, &policy);
+        let stats = sweep_headings(&design, 16, &policy);
         eprintln!(
             "  {:>14.0} {:>14.1} {:>12.3} {:>12.3} {:>6}",
             clock.value(),
@@ -82,13 +82,13 @@ fn bench(c: &mut Criterion) {
     let auto = ExecPolicy::auto();
     group.sample_size(3);
     group.bench_function("heading_sweep_16_serial", |b| {
-        b.iter(|| black_box(sweep_headings_par(&design, 16, &serial)))
+        b.iter(|| black_box(sweep_headings(&design, 16, &serial)))
     });
     group.bench_function("heading_sweep_16_parallel", |b| {
-        b.iter(|| black_box(sweep_headings_par(&design, 16, &auto)))
+        b.iter(|| black_box(sweep_headings(&design, 16, &auto)))
     });
     group.finish();
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

@@ -6,7 +6,7 @@
 //! inventory, sweeps the routing-utilisation assumption, and times the
 //! placer and the netlist builders.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::chip::{build_chip, paper_chip};
 use fluxcomp_rtl::scan::{insert_scan, scan_overhead_transistors};
@@ -111,4 +111,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

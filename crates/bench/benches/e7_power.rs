@@ -7,7 +7,7 @@
 //! possible. Times the cost of a power query (trivially fast — the
 //! bench is dominated by the table regeneration above it).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_afe::power::{PowerModel, Schedule};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::energy::{battery_life_days, Battery, UsageProfile};
@@ -106,4 +106,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

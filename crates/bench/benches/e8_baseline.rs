@@ -11,7 +11,7 @@
 //!
 //! Times the two readouts' computational kernels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_afe::second_harmonic::{
     SecondHarmonicDemodulator, PULSE_POSITION_COST, SECOND_HARMONIC_COST,
 };
@@ -101,4 +101,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

@@ -9,7 +9,7 @@
 //! * the 800 Ω drive limit at 5 V, and the dc-offset-correction
 //!   ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_afe::frontend::{FrontEnd, FrontEndConfig};
 use fluxcomp_afe::oscillator::{OffsetCorrection, TriangleWave};
 use fluxcomp_afe::vi_converter::ViConverter;
@@ -137,4 +137,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

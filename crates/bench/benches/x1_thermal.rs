@@ -11,9 +11,9 @@
 //! * the physically modelled Jiles-Atherton core as a hysteresis
 //!   cross-check of the behavioural loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::{banner, microtesla_to_h};
-use fluxcomp_compass::evaluate::sweep_headings_par;
+use fluxcomp_compass::evaluate::sweep_headings;
 use fluxcomp_compass::{Compass, CompassConfig, CompassDesign};
 use fluxcomp_exec::ExecPolicy;
 use fluxcomp_fluxgate::jiles_atherton::{JaParams, JilesAthertonCore};
@@ -45,7 +45,7 @@ fn print_experiment() {
         cfg.pair.element = derated;
         cfg.frontend.sensor = derated;
         let design = CompassDesign::new(cfg).expect("valid");
-        let stats = sweep_headings_par(&design, 12, &policy);
+        let stats = sweep_headings(&design, 12, &policy);
         eprintln!(
             "  {t:>8.0} {:>10.1} {:>12.3} {:>12}",
             derated.r_excitation.value(),
@@ -121,14 +121,14 @@ fn bench(c: &mut Criterion) {
     let auto = ExecPolicy::auto();
     group.sample_size(3);
     group.bench_function("hot_sweep_12_serial", |b| {
-        b.iter(|| black_box(sweep_headings_par(&design, 12, &serial)))
+        b.iter(|| black_box(sweep_headings(&design, 12, &serial)))
     });
     group.bench_function("hot_sweep_12_parallel", |b| {
-        b.iter(|| black_box(sweep_headings_par(&design, 12, &auto)))
+        b.iter(|| black_box(sweep_headings(&design, 12, &auto)))
     });
     let _ = microtesla_to_h(15.0);
     group.finish();
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

@@ -6,12 +6,11 @@
 //! tilt-compensated three-axis extension recovering the heading, and
 //! measures how circular smoothing steadies noisy repeated fixes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::filter::{circular_std, HeadingSmoother};
 use fluxcomp_compass::tilt::{
-    body_field, tilt_compensated_heading, two_axis_heading, worst_tilt_error, worst_tilt_error_par,
-    Attitude,
+    body_field, tilt_compensated_heading, two_axis_heading, worst_tilt_error, Attitude,
 };
 use fluxcomp_compass::{CompassConfig, CompassDesign};
 use fluxcomp_exec::{derive_seed, ExecPolicy};
@@ -34,7 +33,7 @@ fn print_experiment() {
     );
     for pitch in [0.0, 2.0, 5.0, 10.0, 20.0] {
         let att = Attitude::new(Degrees::new(pitch), Degrees::ZERO);
-        let raw = worst_tilt_error(&field, att, 36).value();
+        let raw = worst_tilt_error(&field, att, 36, &ExecPolicy::serial()).value();
         // Compensated worst error (exact attitude knowledge).
         let mut comp_worst = 0.0f64;
         for k in 0..36 {
@@ -108,13 +107,13 @@ fn bench(c: &mut Criterion) {
     let serial = ExecPolicy::serial();
     let auto = ExecPolicy::auto().with_chunk(16);
     group.bench_function("tilt_scan_360_serial", |b| {
-        b.iter(|| black_box(worst_tilt_error_par(&field, att, 360, &serial)))
+        b.iter(|| black_box(worst_tilt_error(&field, att, 360, &serial)))
     });
     group.bench_function("tilt_scan_360_parallel", |b| {
-        b.iter(|| black_box(worst_tilt_error_par(&field, att, 360, &auto)))
+        b.iter(|| black_box(worst_tilt_error(&field, att, 360, &auto)))
     });
     group.finish();
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

@@ -8,11 +8,11 @@
 //! run the full pipeline, and report the fraction of "manufactured"
 //! compasses that meet the 1° spec.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fluxcomp_bench::banner;
 use fluxcomp_compass::{Compass, CompassConfig};
 use fluxcomp_exec::ExecPolicy;
-use fluxcomp_msim::montecarlo::{run_monte_carlo, run_monte_carlo_par, Tolerance};
+use fluxcomp_msim::montecarlo::{run_monte_carlo, Tolerance};
 use fluxcomp_units::angle::Degrees;
 use fluxcomp_units::si::{Ampere, Volt};
 use std::hint::black_box;
@@ -63,7 +63,7 @@ fn print_experiment() {
     // One sampled unit is ~100 ms of transient simulation: ideal grain
     // for the worker pool, and (per-trial seeding) bit-identical to the
     // serial harness.
-    let result = run_monte_carlo_par(
+    let result = run_monte_carlo(
         &tolerances,
         60,
         0xC0FFEE,
@@ -94,7 +94,7 @@ fn print_experiment() {
             },
             t => t,
         };
-        let r = run_monte_carlo_par(
+        let r = run_monte_carlo(
             &widened,
             40,
             0xC0FFEE,
@@ -138,6 +138,7 @@ fn bench(c: &mut Criterion) {
                 &tolerances,
                 12,
                 0xC0FFEE,
+                &ExecPolicy::serial(),
                 |s| unit_worst_error(s),
                 |m| m <= 1.0,
             ))
@@ -146,7 +147,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("yield_12_units_parallel", |b| {
         let auto = ExecPolicy::auto();
         b.iter(|| {
-            black_box(run_monte_carlo_par(
+            black_box(run_monte_carlo(
                 &tolerances,
                 12,
                 0xC0FFEE,
@@ -160,4 +161,4 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fluxcomp_bench::bench_main!(benches);

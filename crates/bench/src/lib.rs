@@ -9,6 +9,24 @@
 
 use fluxcomp_units::magnetics::{AmperePerMeter, Tesla, MU_0};
 
+pub use fluxcomp_obs as obs;
+
+/// Like `criterion_main!`, but opens a `fluxcomp-obs` session around the
+/// whole run: `FLUXCOMP_OBS=json cargo bench -p fluxcomp-bench` dumps
+/// the instrumentation profile (solver steps, front-end runs, exec pool
+/// activity, …) to stderr when the harness exits. With `FLUXCOMP_OBS`
+/// unset or `off` the recorder stays disabled and the benches measure
+/// the production fast path.
+#[macro_export]
+macro_rules! bench_main {
+    ( $( $group:path ),+ $(,)* ) => {
+        fn main() {
+            let _obs = $crate::obs::init_from_env();
+            $( $group(); )+
+        }
+    };
+}
+
 /// Converts a flux density in microtesla to the field strength the
 /// sensor models consume.
 pub fn microtesla_to_h(ut: f64) -> AmperePerMeter {

@@ -48,6 +48,38 @@ impl CompassConfig {
             ..Self::paper_design()
         }
     }
+
+    /// Validates every field combination the system construction depends
+    /// on, returning the first problem as a [`BuildError`].
+    ///
+    /// [`crate::CompassDesign::new`] and [`crate::Compass::new`] route
+    /// through this, so an invalid configuration — including ones that
+    /// used to panic deep inside the sensor or front-end constructors —
+    /// is reported as an `Err` instead of a panic.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        if !(1..=16).contains(&self.cordic_iterations) {
+            return Err(BuildError::BadCordicIterations {
+                got: self.cordic_iterations,
+            });
+        }
+        let sample_rate =
+            self.frontend.samples_per_period as f64 * self.frontend.excitation.frequency().value();
+        let clock = self.clock.master().value();
+        if sample_rate < clock {
+            return Err(BuildError::SamplingTooCoarse { sample_rate, clock });
+        }
+        // The design substitutes the pair's element into the front-end
+        // channel, so check the channel as it will actually be built.
+        let mut fe_config = self.frontend.clone();
+        fe_config.sensor = self.pair.element;
+        fe_config
+            .check()
+            .map_err(|reason| BuildError::BadFrontEnd { reason })?;
+        self.pair
+            .check()
+            .map_err(|reason| BuildError::BadSensorPair { reason })?;
+        Ok(())
+    }
 }
 
 impl Default for CompassConfig {
@@ -58,6 +90,7 @@ impl Default for CompassConfig {
 
 /// Errors constructing a [`crate::Compass`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum BuildError {
     /// CORDIC iteration count outside the ROM's 1..=16 range.
     BadCordicIterations {
@@ -72,6 +105,17 @@ pub enum BuildError {
         /// Counter clock (Hz).
         clock: f64,
     },
+    /// The front-end channel configuration (including the sensor element
+    /// substituted from the pair) is invalid.
+    BadFrontEnd {
+        /// What the front-end constructor would have panicked with.
+        reason: &'static str,
+    },
+    /// The sensor-pair parameters are invalid.
+    BadSensorPair {
+        /// What the pair constructor would have panicked with.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -84,6 +128,8 @@ impl fmt::Display for BuildError {
                 f,
                 "front-end sample rate {sample_rate:.0} Hz below counter clock {clock:.0} Hz"
             ),
+            BuildError::BadFrontEnd { reason } => write!(f, "front-end config invalid: {reason}"),
+            BuildError::BadSensorPair { reason } => write!(f, "sensor pair invalid: {reason}"),
         }
     }
 }
@@ -119,5 +165,66 @@ mod tests {
             clock: 4e6,
         };
         assert!(e.to_string().contains("4194304") || e.to_string().contains("4000000"));
+        let e = BuildError::BadFrontEnd {
+            reason: "need at least 16 samples per period",
+        };
+        assert!(e.to_string().contains("16 samples"));
+        let e = BuildError::BadSensorPair {
+            reason: "gain mismatch must be positive and finite",
+        };
+        assert!(e.to_string().contains("gain mismatch"));
+    }
+
+    #[test]
+    fn paper_design_validates() {
+        assert_eq!(CompassConfig::paper_design().validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_sensor_element_is_an_error_not_a_panic() {
+        // Used to panic inside Fluxgate::new deep in construction.
+        let mut cfg = CompassConfig::paper_design();
+        cfg.pair.element.turns_pickup = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(BuildError::BadFrontEnd {
+                reason: "pickup coil needs turns"
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_gain_mismatch_is_an_error_not_a_panic() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.pair.gain_mismatch = 0.0;
+        assert_eq!(
+            cfg.validate(),
+            Err(BuildError::BadSensorPair {
+                reason: "gain mismatch must be positive and finite"
+            })
+        );
+    }
+
+    #[test]
+    fn zero_measure_periods_is_an_error_not_a_panic() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.frontend.measure_periods = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(BuildError::BadFrontEnd {
+                reason: "need at least one measurement period"
+            })
+        );
+    }
+
+    #[test]
+    fn validation_order_reports_cordic_first() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.cordic_iterations = 0;
+        cfg.frontend.measure_periods = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(BuildError::BadCordicIterations { got: 0 })
+        );
     }
 }

@@ -4,13 +4,15 @@
 //!
 //! The sweeps run on the `fluxcomp-exec` engine: each heading is an
 //! independent pure measurement of a shared [`CompassDesign`], so
-//! [`sweep_headings_par`] distributes them over a worker pool and folds
-//! the ordered per-heading errors into [`AccuracyStats`] on the calling
-//! thread. The fold order never depends on scheduling, which makes the
-//! parallel statistics bit-identical to the serial ones at any thread
-//! count.
+//! [`sweep_headings`] distributes them over the worker pool its
+//! [`ExecPolicy`] argument selects and folds the ordered per-heading
+//! errors into [`AccuracyStats`] on the calling thread. The fold order
+//! never depends on scheduling, which makes the statistics bit-identical
+//! at any thread count — `ExecPolicy::Serial` and
+//! `ExecPolicy::Parallel { .. }` are the same computation at different
+//! speeds.
 
-use crate::system::{Compass, CompassDesign};
+use crate::system::CompassDesign;
 use fluxcomp_exec::{derive_seed, par_map_range, ExecPolicy, StreamStats};
 use fluxcomp_units::angle::Degrees;
 
@@ -64,24 +66,26 @@ fn sweep_error(design: &CompassDesign, k: usize, n: usize) -> f64 {
 
 /// Evaluates the compass over `n` equally spaced headings in `[0, 360)`.
 ///
-/// # Panics
-///
-/// Panics if `n == 0`.
-pub fn sweep_headings(compass: &mut Compass, n: usize) -> AccuracyStats {
-    sweep_headings_par(compass.design(), n, &ExecPolicy::serial())
-}
-
-/// [`sweep_headings`] on the parallel engine: the `n` fixes are
-/// distributed over `policy`'s worker pool and the statistics folded in
-/// sweep order, so the result is bit-identical to the serial sweep.
+/// The `n` fixes are distributed according to `policy` — run them on the
+/// calling thread with [`ExecPolicy::serial`] or on a worker pool with
+/// [`ExecPolicy::parallel`] — and the statistics are folded in sweep
+/// order, so the result is bit-identical at any worker count.
 ///
 /// # Panics
 ///
 /// Panics if `n == 0`.
-pub fn sweep_headings_par(design: &CompassDesign, n: usize, policy: &ExecPolicy) -> AccuracyStats {
+pub fn sweep_headings(design: &CompassDesign, n: usize, policy: &ExecPolicy) -> AccuracyStats {
     assert!(n > 0, "need at least one heading");
+    let _sweep = fluxcomp_obs::span("compass.sweep");
     let errors = par_map_range(policy, n, |k| sweep_error(design, k, n));
     AccuracyStats::from_signed_errors(errors)
+}
+
+/// Deprecated twin of [`sweep_headings`] from before the execution
+/// policy was an argument of the unified entry point.
+#[deprecated(since = "0.1.0", note = "use `sweep_headings(design, n, policy)`")]
+pub fn sweep_headings_par(design: &CompassDesign, n: usize, policy: &ExecPolicy) -> AccuracyStats {
+    sweep_headings(design, n, policy)
 }
 
 /// Evaluates a single heading `repeats` times (for noise studies) and
@@ -89,14 +93,9 @@ pub fn sweep_headings_par(design: &CompassDesign, n: usize, policy: &ExecPolicy)
 ///
 /// Every repeat uses a distinct noise seed derived from the design's
 /// configured seed and the repeat index, so the trials are independent
-/// noise realisations yet the whole study is reproducible.
-pub fn repeat_heading(compass: &mut Compass, heading: Degrees, repeats: usize) -> Vec<f64> {
-    repeat_heading_par(compass.design(), heading, repeats, &ExecPolicy::serial())
-}
-
-/// [`repeat_heading`] on the parallel engine; bit-identical to the
-/// serial path at any worker count.
-pub fn repeat_heading_par(
+/// noise realisations yet the whole study is reproducible — and, like
+/// [`sweep_headings`], bit-identical under any `policy`.
+pub fn repeat_heading(
     design: &CompassDesign,
     heading: Degrees,
     repeats: usize,
@@ -112,6 +111,21 @@ pub fn repeat_heading_par(
     })
 }
 
+/// Deprecated twin of [`repeat_heading`] from before the execution
+/// policy was an argument of the unified entry point.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `repeat_heading(design, heading, repeats, policy)`"
+)]
+pub fn repeat_heading_par(
+    design: &CompassDesign,
+    heading: Degrees,
+    repeats: usize,
+    policy: &ExecPolicy,
+) -> Vec<f64> {
+    repeat_heading(design, heading, repeats, policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,8 +135,8 @@ mod tests {
     fn paper_design_meets_one_degree_over_sweep() {
         // The headline reproduction: a 24-point sweep of the full
         // circle through the complete mixed-signal pipeline.
-        let mut c = Compass::new(CompassConfig::paper_design()).unwrap();
-        let stats = sweep_headings(&mut c, 24);
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let stats = sweep_headings(&design, 24, &ExecPolicy::serial());
         assert!(
             stats.meets_one_degree_spec(),
             "max error {} exceeds 1°",
@@ -137,9 +151,9 @@ mod tests {
     #[test]
     fn parallel_sweep_is_bit_identical_to_serial() {
         let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
-        let serial = sweep_headings_par(&design, 24, &ExecPolicy::serial());
+        let serial = sweep_headings(&design, 24, &ExecPolicy::serial());
         for threads in [2, 4, 8] {
-            let par = sweep_headings_par(&design, 24, &ExecPolicy::with_threads(threads));
+            let par = sweep_headings(&design, 24, &ExecPolicy::with_threads(threads));
             assert_eq!(serial, par, "at {threads} threads");
             assert_eq!(
                 serial.rms_error.value().to_bits(),
@@ -149,11 +163,26 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_unified_api() {
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let policy = ExecPolicy::serial();
+        assert_eq!(
+            sweep_headings(&design, 8, &policy),
+            sweep_headings_par(&design, 8, &policy)
+        );
+        assert_eq!(
+            repeat_heading(&design, Degrees::new(45.0), 2, &policy),
+            repeat_heading_par(&design, Degrees::new(45.0), 2, &policy)
+        );
+    }
+
+    #[test]
     fn fewer_cordic_iterations_lose_the_spec() {
         let mut cfg = CompassConfig::paper_design();
         cfg.cordic_iterations = 3;
-        let mut c = Compass::new(cfg).unwrap();
-        let stats = sweep_headings(&mut c, 16);
+        let design = CompassDesign::new(cfg).unwrap();
+        let stats = sweep_headings(&design, 16, &ExecPolicy::serial());
         assert!(
             !stats.meets_one_degree_spec(),
             "3 iterations should miss 1°: max {}",
@@ -163,8 +192,8 @@ mod tests {
 
     #[test]
     fn repeat_heading_is_deterministic_without_noise() {
-        let mut c = Compass::new(CompassConfig::paper_design()).unwrap();
-        let errs = repeat_heading(&mut c, Degrees::new(77.0), 3);
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let errs = repeat_heading(&design, Degrees::new(77.0), 3, &ExecPolicy::serial());
         assert_eq!(errs.len(), 3);
         assert!(errs.windows(2).all(|w| w[0] == w[1]));
     }
@@ -176,16 +205,16 @@ mod tests {
         cfg.frontend.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
         let design = CompassDesign::new(cfg).unwrap();
         let policy = ExecPolicy::serial();
-        let errs = repeat_heading_par(&design, Degrees::new(30.0), 8, &policy);
+        let errs = repeat_heading(&design, Degrees::new(30.0), 8, &policy);
         // Distinct per-repeat seeds: the noise realisations differ.
         assert!(
             errs.windows(2).any(|w| w[0] != w[1]),
             "noise repeats should differ: {errs:?}"
         );
         // ... yet the whole study is reproducible, serial or parallel.
-        let again = repeat_heading_par(&design, Degrees::new(30.0), 8, &policy);
+        let again = repeat_heading(&design, Degrees::new(30.0), 8, &policy);
         assert_eq!(errs, again);
-        let par = repeat_heading_par(&design, Degrees::new(30.0), 8, &ExecPolicy::with_threads(4));
+        let par = repeat_heading(&design, Degrees::new(30.0), 8, &ExecPolicy::with_threads(4));
         assert_eq!(errs, par);
     }
 
@@ -204,7 +233,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one heading")]
     fn empty_sweep_rejected() {
-        let mut c = Compass::new(CompassConfig::paper_design()).unwrap();
-        let _ = sweep_headings(&mut c, 0);
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let _ = sweep_headings(&design, 0, &ExecPolicy::serial());
     }
 }

@@ -31,7 +31,7 @@
 use crate::config::{BuildError, CompassConfig};
 use fluxcomp_afe::frontend::{FrontEnd, FrontEndResult};
 use fluxcomp_fluxgate::pair::{Axis, SensorPair};
-use fluxcomp_rtl::cordic::{ComputeHeadingError, CordicArctan};
+use fluxcomp_rtl::cordic::CordicArctan;
 use fluxcomp_rtl::counter::{sample_at_clock, UpDownCounter};
 use fluxcomp_rtl::lcd::DisplayDriver;
 use fluxcomp_rtl::sequencer::{Sequencer, SequencerState};
@@ -84,22 +84,12 @@ impl CompassDesign {
     ///
     /// # Errors
     ///
-    /// * [`BuildError::BadCordicIterations`] for an iteration count the
-    ///   atan ROM cannot hold;
-    /// * [`BuildError::SamplingTooCoarse`] when the analogue grid is
-    ///   slower than the counter clock.
+    /// Any [`BuildError`] from [`CompassConfig::validate`] — bad CORDIC
+    /// iteration counts, an analogue grid slower than the counter clock,
+    /// or invalid front-end/sensor-pair parameters (which used to panic
+    /// inside the block constructors).
     pub fn new(config: CompassConfig) -> Result<Self, BuildError> {
-        if !(1..=16).contains(&config.cordic_iterations) {
-            return Err(BuildError::BadCordicIterations {
-                got: config.cordic_iterations,
-            });
-        }
-        let sample_rate = config.frontend.samples_per_period as f64
-            * config.frontend.excitation.frequency().value();
-        let clock = config.clock.master().value();
-        if sample_rate < clock {
-            return Err(BuildError::SamplingTooCoarse { sample_rate, clock });
-        }
+        config.validate()?;
         let mut fe_config = config.frontend.clone();
         fe_config.sensor = config.pair.element;
         Ok(Self {
@@ -140,10 +130,15 @@ impl CompassDesign {
         let h_ext = self
             .pair
             .axial_field(axis, &self.config.field, true_heading);
+        let excitation = fluxcomp_obs::span("compass.stage.excitation");
         let result: FrontEndResult = self.frontend.run_with_seed(h_ext, noise_seed);
+        drop(excitation);
         let window = self.config.frontend.measure_periods as f64
             / self.config.frontend.excitation.frequency().value();
+        let detector = fluxcomp_obs::span("compass.stage.detector");
         let stream = sample_at_clock(&result.detector_samples, window, self.config.clock.master());
+        drop(detector);
+        let _counter_stage = fluxcomp_obs::span("compass.stage.counter");
         let mut counter = UpDownCounter::paper_design();
         let count = counter.run(stream);
         AxisMeasurement {
@@ -169,13 +164,13 @@ impl CompassDesign {
     pub fn measure_heading_seeded(&self, true_heading: Degrees, noise_seed: u64) -> Reading {
         let x = self.measure_axis_seeded(Axis::X, true_heading, noise_seed);
         let y = self.measure_axis_seeded(Axis::Y, true_heading, noise_seed);
+        let _cordic_stage = fluxcomp_obs::span("compass.stage.cordic");
         let (heading, cycles) = match self.cordic.heading(-x.count, -y.count) {
             Ok(r) => (r.heading, r.cycles),
-            // A fully null field (shielded sensor): hold 0° like the
-            // hardware's result register would.
-            Err(ComputeHeadingError::ZeroVector | ComputeHeadingError::Overflow) => {
-                (Degrees::ZERO, self.cordic.iterations())
-            }
+            // A fully null field (shielded sensor) or a datapath
+            // overflow: hold 0° like the hardware's result register
+            // would.
+            Err(_) => (Degrees::ZERO, self.cordic.iterations()),
         };
         Reading {
             heading,
@@ -277,12 +272,13 @@ impl Compass {
         }
         debug_assert_eq!(self.sequencer.state(), SequencerState::Compute);
 
+        let cordic_stage = fluxcomp_obs::span("compass.stage.cordic");
         let (heading, cycles) = match self.design.cordic.heading(-x.count, -y.count) {
             Ok(r) => (r.heading, r.cycles),
-            Err(ComputeHeadingError::ZeroVector | ComputeHeadingError::Overflow) => {
-                (Degrees::ZERO, self.design.cordic.iterations())
-            }
+            Err(_) => (Degrees::ZERO, self.design.cordic.iterations()),
         };
+        drop(cordic_stage);
+        let _display_stage = fluxcomp_obs::span("compass.stage.display");
         for _ in 0..8 {
             self.sequencer.advance();
         }
@@ -423,6 +419,20 @@ mod tests {
         assert!(matches!(
             Compass::new(cfg).unwrap_err(),
             BuildError::SamplingTooCoarse { .. }
+        ));
+        // Field combos that used to panic inside the block constructors
+        // now come back as errors through the same path.
+        let mut cfg = CompassConfig::paper_design();
+        cfg.pair.element.magnetic_length = 0.0;
+        assert!(matches!(
+            Compass::new(cfg).unwrap_err(),
+            BuildError::BadFrontEnd { .. }
+        ));
+        let mut cfg = CompassConfig::paper_design();
+        cfg.pair.gain_mismatch = f64::NAN;
+        assert!(matches!(
+            CompassDesign::new(cfg).unwrap_err(),
+            BuildError::BadSensorPair { .. }
         ));
     }
 

@@ -106,14 +106,11 @@ pub fn tilt_compensated_heading(bx: Tesla, by: Tesla, bz: Tesla, attitude: Attit
 
 /// Worst-case two-axis heading error over the full circle for a given
 /// tilt, sampled at `n` headings.
-pub fn worst_tilt_error(field: &EarthField, attitude: Attitude, n: usize) -> Degrees {
-    worst_tilt_error_par(field, attitude, n, &fluxcomp_exec::ExecPolicy::serial())
-}
-
-/// [`worst_tilt_error`] on the parallel engine: the headings are
-/// evaluated on `policy`'s worker pool and the maximum folded in sweep
-/// order, so the result is bit-identical to the serial scan.
-pub fn worst_tilt_error_par(
+///
+/// The headings are evaluated according to `policy` and the maximum
+/// folded in sweep order, so the result is bit-identical at any worker
+/// count.
+pub fn worst_tilt_error(
     field: &EarthField,
     attitude: Attitude,
     n: usize,
@@ -126,6 +123,21 @@ pub fn worst_tilt_error_par(
         indicated.angular_distance(truth).value()
     });
     Degrees::new(errors.into_iter().fold(0.0f64, f64::max))
+}
+
+/// Deprecated twin of [`worst_tilt_error`] from before the execution
+/// policy was an argument of the unified entry point.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `worst_tilt_error(field, attitude, n, policy)`"
+)]
+pub fn worst_tilt_error_par(
+    field: &EarthField,
+    attitude: Attitude,
+    n: usize,
+    policy: &fluxcomp_exec::ExecPolicy,
+) -> Degrees {
+    worst_tilt_error(field, attitude, n, policy)
 }
 
 #[cfg(test)]
@@ -168,9 +180,11 @@ mod tests {
         // At the paper's latitude (67° dip), 10° of pitch is disastrous
         // for a two-axis compass; at the equator (no vertical field)
         // pitch only compresses the x component — a far smaller effect.
+        let serial = fluxcomp_exec::ExecPolicy::serial();
         let tilt = Attitude::new(Degrees::new(10.0), Degrees::ZERO);
-        let err_nl = worst_tilt_error(&enschede(), tilt, 36).value();
-        let err_eq = worst_tilt_error(&EarthField::at(Location::Equator), tilt, 36).value();
+        let err_nl = worst_tilt_error(&enschede(), tilt, 36, &serial).value();
+        let err_eq =
+            worst_tilt_error(&EarthField::at(Location::Equator), tilt, 36, &serial).value();
         assert!(err_nl > 10.0, "Enschede 10° pitch: {err_nl}°");
         assert!(err_eq < 1.0, "equator 10° pitch: {err_eq}°");
         // More tilt, more error.
@@ -178,6 +192,7 @@ mod tests {
             &enschede(),
             Attitude::new(Degrees::new(20.0), Degrees::ZERO),
             36,
+            &serial,
         )
         .value();
         assert!(err_nl_20 > err_nl);
@@ -229,9 +244,9 @@ mod tests {
     #[test]
     fn parallel_scan_matches_serial_bitwise() {
         let tilt = Attitude::new(Degrees::new(12.0), Degrees::new(-7.0));
-        let serial = worst_tilt_error(&enschede(), tilt, 360);
+        let serial = worst_tilt_error(&enschede(), tilt, 360, &fluxcomp_exec::ExecPolicy::serial());
         for threads in [2, 4, 8] {
-            let par = worst_tilt_error_par(
+            let par = worst_tilt_error(
                 &enschede(),
                 tilt,
                 360,
@@ -242,8 +257,24 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_forwards_to_the_unified_api() {
+        let tilt = Attitude::new(Degrees::new(5.0), Degrees::ZERO);
+        let policy = fluxcomp_exec::ExecPolicy::serial();
+        assert_eq!(
+            worst_tilt_error(&enschede(), tilt, 12, &policy),
+            worst_tilt_error_par(&enschede(), tilt, 12, &policy)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one heading")]
     fn empty_sweep_rejected() {
-        let _ = worst_tilt_error(&enschede(), Attitude::level(), 0);
+        let _ = worst_tilt_error(
+            &enschede(),
+            Attitude::level(),
+            0,
+            &fluxcomp_exec::ExecPolicy::serial(),
+        );
     }
 }

@@ -1,4 +1,5 @@
-//! The scoped worker pool and the ordered parallel map.
+//! The execution policy, the scoped worker pool and the ordered
+//! parallel map.
 //!
 //! Tasks are distributed by **chunked self-scheduling**: a shared atomic
 //! cursor hands out contiguous index chunks, so idle workers steal the
@@ -13,20 +14,50 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// How a sweep is executed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecPolicy {
-    threads: NonZeroUsize,
-    chunk: NonZeroUsize,
+/// How a sweep is executed: serially on the calling thread, or on a
+/// scoped worker pool. This is the single execution argument the
+/// workspace's unified entry points take (`sweep_headings`,
+/// `run_monte_carlo`, `worst_tilt_error`, `production_test_batch`, …) —
+/// the result is bit-identical either way, so the policy is purely a
+/// throughput choice.
+///
+/// Construct via [`ExecPolicy::serial`], [`ExecPolicy::parallel`],
+/// [`ExecPolicy::auto`] or [`ExecPolicy::with_threads`]; the variants
+/// themselves are non-exhaustive so invariants (nonzero worker/chunk
+/// counts) always hold.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ExecPolicy {
+    /// Strictly serial execution on the calling thread.
+    Serial,
+    /// A scoped worker pool.
+    #[non_exhaustive]
+    Parallel {
+        /// Number of worker threads (≥ 2; smaller requests normalise to
+        /// [`ExecPolicy::Serial`]).
+        workers: NonZeroUsize,
+        /// Tasks handed to a worker per self-scheduling grab.
+        chunk: NonZeroUsize,
+    },
 }
 
 impl ExecPolicy {
     /// Strictly serial execution on the calling thread.
     #[must_use]
     pub fn serial() -> Self {
-        Self {
-            threads: NonZeroUsize::MIN,
-            chunk: NonZeroUsize::MIN,
+        Self::Serial
+    }
+
+    /// A pool of exactly `workers` threads; `workers <= 1` normalises
+    /// to [`ExecPolicy::Serial`] so policy equality reflects behaviour.
+    #[must_use]
+    pub fn parallel(workers: usize) -> Self {
+        match NonZeroUsize::new(workers).filter(|w| w.get() > 1) {
+            Some(workers) => Self::Parallel {
+                workers,
+                chunk: NonZeroUsize::MIN,
+            },
+            None => Self::Serial,
         }
     }
 
@@ -40,38 +71,53 @@ impl ExecPolicy {
             .and_then(NonZeroUsize::new);
         let threads = env
             .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN));
-        Self::with_threads(threads.get())
+        Self::parallel(threads.get())
     }
 
-    /// Exactly `threads` workers (clamped to at least one).
+    /// Exactly `threads` workers (alias of [`ExecPolicy::parallel`],
+    /// kept from the original API).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        Self {
-            threads: NonZeroUsize::new(threads).unwrap_or(NonZeroUsize::MIN),
-            chunk: NonZeroUsize::MIN,
-        }
+        Self::parallel(threads)
     }
 
     /// Sets the self-scheduling chunk size (tasks handed to a worker per
     /// grab; clamped to at least one). The default of 1 suits this
     /// workspace's task granularity — one task is a whole transient
-    /// simulation, milliseconds of work.
+    /// simulation, milliseconds of work. No effect on a serial policy.
     #[must_use]
-    pub fn with_chunk(mut self, chunk: usize) -> Self {
-        self.chunk = NonZeroUsize::new(chunk).unwrap_or(NonZeroUsize::MIN);
-        self
+    pub fn with_chunk(self, chunk: usize) -> Self {
+        match self {
+            Self::Serial => Self::Serial,
+            Self::Parallel { workers, .. } => Self::Parallel {
+                workers,
+                chunk: NonZeroUsize::new(chunk).unwrap_or(NonZeroUsize::MIN),
+            },
+        }
     }
 
-    /// The worker count.
+    /// The worker count (1 for the serial policy).
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads.get()
+        match self {
+            Self::Serial => 1,
+            Self::Parallel { workers, .. } => workers.get(),
+        }
     }
 
-    /// The chunk size.
+    /// The chunk size (1 for the serial policy).
     #[must_use]
     pub fn chunk(&self) -> usize {
-        self.chunk.get()
+        match self {
+            Self::Serial => 1,
+            Self::Parallel { chunk, .. } => chunk.get(),
+        }
+    }
+
+    /// `true` when this policy runs on the calling thread only.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        matches!(self, Self::Serial)
     }
 }
 
@@ -83,10 +129,10 @@ impl Default for ExecPolicy {
 
 /// Maps `f` over `items`, returning results in item order.
 ///
-/// `f` receives `(index, &item)`. With one thread (or one item) this is
-/// a plain serial loop; otherwise items are processed by a scoped worker
-/// pool. For pure `f` the output is bit-for-bit identical in both cases
-/// — see the crate-level determinism contract.
+/// `f` receives `(index, &item)`. With a serial policy (or one item)
+/// this is a plain serial loop; otherwise items are processed by a
+/// scoped worker pool. For pure `f` the output is bit-for-bit identical
+/// in both cases — see the crate-level determinism contract.
 pub fn par_map<T, U, F>(policy: &ExecPolicy, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -95,9 +141,12 @@ where
 {
     let n = items.len();
     let workers = policy.threads().min(n.max(1));
+    fluxcomp_obs::counter_add("exec.tasks", n as u64);
     if workers <= 1 {
+        fluxcomp_obs::counter_add("exec.serial_maps", 1);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    fluxcomp_obs::counter_add("exec.par_maps", 1);
 
     // One indexed-result buffer per worker, tagged by its first index.
     type Bucket<U> = Vec<(usize, U)>;
@@ -108,18 +157,23 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let busy = fluxcomp_obs::span("exec.worker_busy");
                 let mut local: Vec<(usize, U)> = Vec::new();
+                let mut chunks_claimed = 0u64;
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
+                    chunks_claimed += 1;
                     let end = (start + chunk).min(n);
                     for (i, item) in items[start..end].iter().enumerate() {
                         let index = start + i;
                         local.push((index, f(index, item)));
                     }
                 }
+                fluxcomp_obs::counter_add("exec.chunks_claimed", chunks_claimed);
+                busy.finish();
                 if !local.is_empty() {
                     let first = local[0].0;
                     buckets
@@ -158,6 +212,8 @@ where
 {
     let workers = policy.threads().min(n.max(1));
     if workers <= 1 {
+        fluxcomp_obs::counter_add("exec.tasks", n as u64);
+        fluxcomp_obs::counter_add("exec.serial_maps", 1);
         return (0..n).map(f).collect();
     }
     let indices: Vec<usize> = (0..n).collect();
@@ -216,6 +272,23 @@ mod tests {
     }
 
     #[test]
+    fn policy_normalises_degenerate_parallelism() {
+        // One worker *is* serial; the enum says so, and equality agrees.
+        assert_eq!(ExecPolicy::parallel(1), ExecPolicy::Serial);
+        assert_eq!(ExecPolicy::parallel(0), ExecPolicy::Serial);
+        assert_eq!(ExecPolicy::with_threads(1), ExecPolicy::serial());
+        assert!(ExecPolicy::parallel(1).is_serial());
+        assert!(!ExecPolicy::parallel(2).is_serial());
+        // Chunk adjustment on a serial policy is a no-op.
+        assert_eq!(ExecPolicy::serial().with_chunk(64), ExecPolicy::Serial);
+        // Matching the enum works for downstream dispatch.
+        match ExecPolicy::parallel(4) {
+            ExecPolicy::Parallel { workers, .. } => assert_eq!(workers.get(), 4),
+            _ => panic!("expected the parallel variant"),
+        }
+    }
+
+    #[test]
     fn skewed_workloads_balance() {
         // Front-loaded cost: without self-scheduling one worker would do
         // nearly everything. This just asserts correctness, not timing.
@@ -230,5 +303,20 @@ mod tests {
         for (k, (kk, _)) in out.iter().enumerate() {
             assert_eq!(k, *kk);
         }
+    }
+
+    #[test]
+    fn pool_reports_work_to_the_recorder() {
+        let session = fluxcomp_obs::init_for_test();
+        let _ = par_map_range(&ExecPolicy::with_threads(4).with_chunk(8), 64, |k| k);
+        let profile = session.profile().expect("recorder installed");
+        fluxcomp_obs::uninstall();
+        assert_eq!(profile.counter("exec.tasks"), Some(64));
+        assert_eq!(profile.counter("exec.par_maps"), Some(1));
+        // 64 tasks in chunks of 8 → exactly 8 claims, however the
+        // workers split them.
+        assert_eq!(profile.counter("exec.chunks_claimed"), Some(8));
+        let busy = profile.span("exec.worker_busy").expect("worker spans");
+        assert_eq!(busy.count, 4);
     }
 }

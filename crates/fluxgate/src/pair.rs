@@ -61,6 +61,17 @@ impl SensorPairParams {
             disturbance: MagneticDisturbance::none(),
         }
     }
+
+    /// Validates the parameters without constructing the pair.
+    ///
+    /// Returns the same message [`SensorPair::new`] would panic with, so
+    /// callers can surface the problem as a recoverable error instead.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !(self.gain_mismatch > 0.0 && self.gain_mismatch.is_finite()) {
+            return Err("gain mismatch must be positive and finite");
+        }
+        self.element.check()
+    }
 }
 
 impl Default for SensorPairParams {
@@ -85,10 +96,9 @@ impl SensorPair {
     /// Panics if `gain_mismatch` is not strictly positive, or the element
     /// parameters are invalid (see [`Fluxgate::new`]).
     pub fn new(params: SensorPairParams) -> Self {
-        assert!(
-            params.gain_mismatch > 0.0 && params.gain_mismatch.is_finite(),
-            "gain mismatch must be positive and finite"
-        );
+        if let Err(reason) = params.check() {
+            panic!("{reason}");
+        }
         Self {
             x: Fluxgate::new(params.element),
             y: Fluxgate::new(params.element),

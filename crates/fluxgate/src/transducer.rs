@@ -95,6 +95,29 @@ impl FluxgateParams {
             ..Self::adapted()
         }
     }
+
+    /// Validates the parameters without constructing an element.
+    ///
+    /// Returns the same message [`Fluxgate::new`] would panic with, so
+    /// callers can surface the problem as a recoverable error instead.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.magnetic_length <= 0.0 || self.magnetic_length.is_nan() {
+            return Err("magnetic length must be positive");
+        }
+        if self.core_area <= 0.0 || self.core_area.is_nan() {
+            return Err("core area must be positive");
+        }
+        if self.turns_excitation == 0 {
+            return Err("excitation coil needs turns");
+        }
+        if self.turns_pickup == 0 {
+            return Err("pickup coil needs turns");
+        }
+        if self.r_excitation.value() < 0.0 || self.r_pickup.value() < 0.0 {
+            return Err("negative resistance");
+        }
+        Ok(())
+    }
 }
 
 impl Default for FluxgateParams {
@@ -122,15 +145,9 @@ impl Fluxgate {
     /// Panics if any geometric parameter is non-positive or a coil has
     /// zero turns.
     pub fn new(params: FluxgateParams) -> Self {
-        assert!(
-            params.magnetic_length > 0.0,
-            "magnetic length must be positive"
-        );
-        assert!(params.core_area > 0.0, "core area must be positive");
-        assert!(params.turns_excitation > 0, "excitation coil needs turns");
-        assert!(params.turns_pickup > 0, "pickup coil needs turns");
-        assert!(params.r_excitation.value() >= 0.0, "negative resistance");
-        assert!(params.r_pickup.value() >= 0.0, "negative resistance");
+        if let Err(reason) = params.check() {
+            panic!("{reason}");
+        }
         Self { params }
     }
 

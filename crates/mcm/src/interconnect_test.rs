@@ -92,10 +92,12 @@ impl InterconnectTester {
             self.net_count,
             "tester sized for a different module"
         );
+        let _test = fluxcomp_obs::span("mcm.interconnect_test");
         let mut chain = BoundaryScanChain::new(self.net_count);
         let mut patterns = Vec::new();
         let mut failing: Vec<usize> = Vec::new();
         for driven in self.patterns() {
+            fluxcomp_obs::counter_add("mcm.test_vectors", 1);
             // Shift the pattern into the chain and update (EXTEST drive).
             chain.shift_pattern(&driven);
             chain.update();

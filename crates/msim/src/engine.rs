@@ -120,17 +120,25 @@ impl<E> MixedSignalSim<E> {
             let steps = span.div_ceil(self.dt.picos() as u64) as usize;
             self.traces.reserve_all(steps);
         }
+        // Tallied locally and recorded once per run — the loop body is
+        // the workspace's hottest path and must not touch the recorder.
+        let mut analog_steps = 0u64;
+        let mut digital_events = 0u64;
         while self.now < end {
             let next = (self.now + self.dt).min(end);
             // Fire all digital events due up to and including the end of
             // this interval, in deterministic time/FIFO order.
             while let Some((te, ev)) = self.queue.pop_due(next) {
                 digital(te, ev, &mut self.queue);
+                digital_events += 1;
             }
             let step_secs = (next - self.now).picos() as f64 * 1e-12;
             analog(self.now, step_secs, &mut self.traces);
+            analog_steps += 1;
             self.now = next;
         }
+        fluxcomp_obs::counter_add("msim.analog_steps", analog_steps);
+        fluxcomp_obs::counter_add("msim.digital_events", digital_events);
     }
 }
 

@@ -54,7 +54,9 @@ pub mod trace;
 
 pub use ac::Complex;
 pub use engine::MixedSignalSim;
-pub use montecarlo::{run_monte_carlo, run_monte_carlo_par, MonteCarloResult, Tolerance};
+#[allow(deprecated)]
+pub use montecarlo::run_monte_carlo_par;
+pub use montecarlo::{run_monte_carlo, MonteCarloResult, Tolerance};
 pub use scheduler::EventQueue;
 pub use solver::{Method, OdeSolver};
 pub use spectrum::{bin_magnitude, even_odd_ratio, goertzel, harmonic_profile};

@@ -10,8 +10,9 @@
 //! Trials are seeded **per trial** via [`fluxcomp_exec::derive_seed`]
 //! rather than drawn from one sequential generator. That makes every
 //! trial a pure function of `(seed, trial index)`, which is what lets
-//! [`run_monte_carlo_par`] farm trials out to a worker pool and still
-//! return results bit-identical to the serial [`run_monte_carlo`].
+//! [`run_monte_carlo`] farm trials out to the worker pool its
+//! [`ExecPolicy`] argument selects and still return results
+//! bit-identical to a serial run.
 
 use fluxcomp_exec::{derive_seed, par_map_range, ExecPolicy, SortedSamples, StreamStats};
 use rand::rngs::StdRng;
@@ -130,45 +131,17 @@ impl MonteCarloResult {
     }
 }
 
-/// Runs `trials` Monte-Carlo trials serially.
+/// Runs `trials` Monte-Carlo trials.
 ///
 /// For each trial, one factor per entry of `tolerances` is drawn; the
 /// `evaluate` closure turns the factors into a scalar metric; `passes`
-/// judges it. Fully deterministic for a given `seed`, and — because
-/// every trial is seeded independently via [`derive_seed`] —
-/// bit-identical to [`run_monte_carlo_par`] at any worker count.
+/// judges it. Sampling and evaluation run according to `policy` — on
+/// the calling thread under [`ExecPolicy::serial`], on a worker pool
+/// under [`ExecPolicy::parallel`] — while the pass judgement and
+/// statistics fold over the ordered metric vector on the calling
+/// thread. For a pure `evaluate` the result — every metric bit, the
+/// pass count, the quantiles — is identical at any worker count.
 pub fn run_monte_carlo<F, P>(
-    tolerances: &[Tolerance],
-    trials: usize,
-    seed: u64,
-    mut evaluate: F,
-    mut passes: P,
-) -> MonteCarloResult
-where
-    F: FnMut(&Sample) -> f64,
-    P: FnMut(f64) -> bool,
-{
-    let mut metrics = Vec::with_capacity(trials);
-    let mut pass_count = 0;
-    for k in 0..trials {
-        let sample = draw_sample(tolerances, seed, k);
-        let metric = evaluate(&sample);
-        if passes(metric) {
-            pass_count += 1;
-        }
-        metrics.push(metric);
-    }
-    MonteCarloResult::new(trials, pass_count, metrics)
-}
-
-/// Runs `trials` Monte-Carlo trials on a worker pool.
-///
-/// Sampling and evaluation of each trial run concurrently under
-/// `policy`; the pass judgement and statistics fold over the ordered
-/// metric vector on the calling thread, so for a pure `evaluate` the
-/// result — every metric bit, the pass count, the quantiles — is
-/// identical to the serial [`run_monte_carlo`].
-pub fn run_monte_carlo_par<F, P>(
     tolerances: &[Tolerance],
     trials: usize,
     seed: u64,
@@ -180,11 +153,33 @@ where
     F: Fn(&Sample) -> f64 + Sync,
     P: FnMut(f64) -> bool,
 {
+    fluxcomp_obs::counter_add("msim.mc_trials", trials as u64);
     let metrics = par_map_range(policy, trials, |k| {
         evaluate(&draw_sample(tolerances, seed, k))
     });
     let pass_count = metrics.iter().filter(|&&m| passes(m)).count();
     MonteCarloResult::new(trials, pass_count, metrics)
+}
+
+/// Deprecated twin of [`run_monte_carlo`] from before the execution
+/// policy was an argument of the unified entry point.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run_monte_carlo(tolerances, trials, seed, policy, evaluate, passes)`"
+)]
+pub fn run_monte_carlo_par<F, P>(
+    tolerances: &[Tolerance],
+    trials: usize,
+    seed: u64,
+    policy: &ExecPolicy,
+    evaluate: F,
+    passes: P,
+) -> MonteCarloResult
+where
+    F: Fn(&Sample) -> f64 + Sync,
+    P: FnMut(f64) -> bool,
+{
+    run_monte_carlo(tolerances, trials, seed, policy, evaluate, passes)
 }
 
 #[cfg(test)]
@@ -194,7 +189,7 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let tol = [Tolerance::Uniform { tol: 0.1 }];
-        let run = || run_monte_carlo(&tol, 50, 42, |s| s[0], |m| m > 1.0);
+        let run = || run_monte_carlo(&tol, 50, 42, &ExecPolicy::serial(), |s| s[0], |m| m > 1.0);
         assert_eq!(run(), run());
     }
 
@@ -205,9 +200,11 @@ mod tests {
             Tolerance::Gaussian { rel_sigma: 0.03 },
         ];
         let eval = |s: &Sample| s[0] * s[1];
-        let serial = run_monte_carlo(&tol, 500, 0xC0FFEE, eval, |m| m > 1.0);
+        let serial = run_monte_carlo(&tol, 500, 0xC0FFEE, &ExecPolicy::serial(), eval, |m| {
+            m > 1.0
+        });
         for threads in [1, 2, 4, 16] {
-            let par = run_monte_carlo_par(
+            let par = run_monte_carlo(
                 &tol,
                 500,
                 0xC0FFEE,
@@ -223,20 +220,30 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_forwards_to_the_unified_api() {
+        let tol = [Tolerance::Uniform { tol: 0.1 }];
+        let policy = ExecPolicy::serial();
+        let unified = run_monte_carlo(&tol, 20, 4, &policy, |s| s[0], |m| m > 1.0);
+        let shim = run_monte_carlo_par(&tol, 20, 4, &policy, |s| s[0], |m| m > 1.0);
+        assert_eq!(unified, shim);
+    }
+
+    #[test]
     fn trials_are_independent_of_trial_count() {
         // Per-trial seeding means trial k draws the same factors whether
         // the run has 10 or 10 000 trials — unlike a shared sequential
         // generator.
         let tol = [Tolerance::Uniform { tol: 0.1 }];
-        let short = run_monte_carlo(&tol, 10, 5, |s| s[0], |_| true);
-        let long = run_monte_carlo(&tol, 100, 5, |s| s[0], |_| true);
+        let short = run_monte_carlo(&tol, 10, 5, &ExecPolicy::serial(), |s| s[0], |_| true);
+        let long = run_monte_carlo(&tol, 100, 5, &ExecPolicy::serial(), |s| s[0], |_| true);
         assert_eq!(short.metrics[..], long.metrics[..10]);
     }
 
     #[test]
     fn uniform_samples_stay_in_range() {
         let tol = [Tolerance::Uniform { tol: 0.2 }];
-        let r = run_monte_carlo(&tol, 2_000, 7, |s| s[0], |_| true);
+        let r = run_monte_carlo(&tol, 2_000, 7, &ExecPolicy::serial(), |s| s[0], |_| true);
         for &m in &r.metrics {
             assert!((0.8..=1.2).contains(&m), "{m}");
         }
@@ -247,7 +254,7 @@ mod tests {
     #[test]
     fn gaussian_statistics() {
         let tol = [Tolerance::Gaussian { rel_sigma: 0.05 }];
-        let r = run_monte_carlo(&tol, 20_000, 9, |s| s[0], |_| true);
+        let r = run_monte_carlo(&tol, 20_000, 9, &ExecPolicy::serial(), |s| s[0], |_| true);
         assert!((r.mean() - 1.0).abs() < 0.002);
         assert!((r.std_dev() - 0.05).abs() < 0.003);
         // 4σ clamp.
@@ -261,7 +268,14 @@ mod tests {
         // Metric = the factor itself; pass when above the median-ish 1.0:
         // yield ≈ 50 %.
         let tol = [Tolerance::Uniform { tol: 0.1 }];
-        let r = run_monte_carlo(&tol, 10_000, 3, |s| s[0], |m| m > 1.0);
+        let r = run_monte_carlo(
+            &tol,
+            10_000,
+            3,
+            &ExecPolicy::serial(),
+            |s| s[0],
+            |m| m > 1.0,
+        );
         assert!(
             (r.yield_fraction() - 0.5).abs() < 0.03,
             "{}",
@@ -272,7 +286,7 @@ mod tests {
     #[test]
     fn quantiles_are_ordered() {
         let tol = [Tolerance::Gaussian { rel_sigma: 0.1 }];
-        let r = run_monte_carlo(&tol, 5_000, 5, |s| s[0], |_| true);
+        let r = run_monte_carlo(&tol, 5_000, 5, &ExecPolicy::serial(), |s| s[0], |_| true);
         let q10 = r.quantile(0.1);
         let q50 = r.quantile(0.5);
         let q90 = r.quantile(0.9);
@@ -286,7 +300,14 @@ mod tests {
             Tolerance::Uniform { tol: 0.1 },
             Tolerance::Gaussian { rel_sigma: 0.02 },
         ];
-        let r = run_monte_carlo(&tol, 100, 11, |s| s[0] * s[1], |_| true);
+        let r = run_monte_carlo(
+            &tol,
+            100,
+            11,
+            &ExecPolicy::serial(),
+            |s| s[0] * s[1],
+            |_| true,
+        );
         assert_eq!(r.trials, 100);
         assert_eq!(r.metrics.len(), 100);
     }
@@ -295,7 +316,7 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn bad_quantile_rejected() {
         let tol = [Tolerance::Uniform { tol: 0.1 }];
-        let r = run_monte_carlo(&tol, 10, 1, |s| s[0], |_| true);
+        let r = run_monte_carlo(&tol, 10, 1, &ExecPolicy::serial(), |s| s[0], |_| true);
         let _ = r.quantile(1.5);
     }
 }

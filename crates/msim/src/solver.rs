@@ -77,6 +77,12 @@ pub struct OdeSolver {
     k3: Vec<f64>,
     k4: Vec<f64>,
     tmp: Vec<f64>,
+    // Work tallies, kept as plain fields because `step` is far too hot
+    // to touch the observability layer; [`OdeSolver::publish_obs`]
+    // records them in one call at the end of a run.
+    steps: u64,
+    newton_iterations: u64,
+    newton_nonconverged: u64,
 }
 
 impl OdeSolver {
@@ -95,6 +101,9 @@ impl OdeSolver {
             k3: vec![0.0; dim],
             k4: vec![0.0; dim],
             tmp: vec![0.0; dim],
+            steps: 0,
+            newton_iterations: 0,
+            newton_nonconverged: 0,
         }
     }
 
@@ -106,6 +115,42 @@ impl OdeSolver {
     /// The state dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Steps taken since construction (or the last [`publish_obs`]).
+    ///
+    /// [`publish_obs`]: OdeSolver::publish_obs
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Newton iterations spent by the implicit method since construction
+    /// (or the last [`publish_obs`]); always 0 for explicit methods.
+    ///
+    /// [`publish_obs`]: OdeSolver::publish_obs
+    pub fn newton_iterations(&self) -> u64 {
+        self.newton_iterations
+    }
+
+    /// Implicit steps whose Newton iteration hit its cap without meeting
+    /// the residual tolerance — the step's last iterate is still
+    /// accepted, but a nonzero count flags a step size that should
+    /// shrink.
+    pub fn newton_nonconverged(&self) -> u64 {
+        self.newton_nonconverged
+    }
+
+    /// Records the accumulated work tallies into the observability layer
+    /// (`msim.solver_steps`, `msim.newton_iterations`,
+    /// `msim.newton_nonconverged`) and resets them. Call once per
+    /// simulation run, never per step.
+    pub fn publish_obs(&mut self) {
+        fluxcomp_obs::counter_add("msim.solver_steps", self.steps);
+        fluxcomp_obs::counter_add("msim.newton_iterations", self.newton_iterations);
+        fluxcomp_obs::counter_add("msim.newton_nonconverged", self.newton_nonconverged);
+        self.steps = 0;
+        self.newton_iterations = 0;
+        self.newton_nonconverged = 0;
     }
 
     /// Advances `y` in place from `t` to `t + dt`.
@@ -121,6 +166,7 @@ impl OdeSolver {
         F: FnMut(f64, &[f64], &mut [f64]),
     {
         assert_eq!(y.len(), self.dim, "state size mismatch");
+        self.steps += 1;
         match self.method {
             Method::Euler => {
                 f(t, y, &mut self.k1);
@@ -175,6 +221,7 @@ impl OdeSolver {
         let mut z: Vec<f64> = (0..n).map(|i| y[i] + dt * self.k1[i]).collect();
         let mut residual = vec![0.0; n];
         let mut jac = vec![0.0; n * n];
+        let mut converged = false;
         for _newton in 0..20 {
             f(t + dt, &z, &mut self.k2);
             let mut worst = 0.0f64;
@@ -184,8 +231,10 @@ impl OdeSolver {
             }
             let scale = z.iter().fold(1.0f64, |a, v| a.max(v.abs()));
             if worst < 1e-12 * scale {
+                converged = true;
                 break;
             }
+            self.newton_iterations += 1;
             // Jacobian of g: I − dt/2 · ∂f/∂z (forward differences).
             for j in 0..n {
                 let h = 1e-7 * z[j].abs().max(1e-7);
@@ -236,6 +285,9 @@ impl OdeSolver {
             for i in 0..n {
                 z[i] -= b[i];
             }
+        }
+        if !converged {
+            self.newton_nonconverged += 1;
         }
         y.copy_from_slice(&z);
     }

@@ -1,0 +1,131 @@
+//! Validates a JSON-lines profile on stdin — the checker CI runs over
+//! the profile an example emits with `FLUXCOMP_OBS=json`.
+//!
+//! Checks, per line: the line parses as a JSON object, carries a known
+//! `kind`, and has the fields that kind requires. Checks, globally:
+//! exactly one header line, and the header's section counts match the
+//! body. Exits 0 and prints a summary when well-formed; exits 1 with
+//! the offending line otherwise.
+//!
+//! ```text
+//! FLUXCOMP_OBS=json cargo run --release --example world_tour 2>&1 >/dev/null \
+//!   | cargo run -p fluxcomp-obs --example validate_profile
+//! ```
+
+use fluxcomp_obs::json::{parse, Value};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn require_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+fn require_number_or_null(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Value::Number(_)) | Some(Value::Null) => Ok(()),
+        _ => Err(format!("missing or non-numeric `{key}`")),
+    }
+}
+
+fn check_line(v: &Value, counts: &mut [u64; 4]) -> Result<bool, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing `kind`")?;
+    if kind != "profile" {
+        v.get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing `name`")?;
+    }
+    match kind {
+        "profile" => {
+            for key in ["version", "counters", "gauges", "histograms", "spans"] {
+                require_u64(v, key)?;
+            }
+            return Ok(true);
+        }
+        "counter" => {
+            require_u64(v, "value")?;
+            counts[0] += 1;
+        }
+        "gauge" => {
+            require_number_or_null(v, "value")?;
+            counts[1] += 1;
+        }
+        "histogram" => {
+            require_u64(v, "count")?;
+            for key in ["sum", "min", "max", "mean"] {
+                require_number_or_null(v, key)?;
+            }
+            counts[2] += 1;
+        }
+        "span" => {
+            for key in ["count", "total_ns", "min_ns", "max_ns"] {
+                require_u64(v, key)?;
+            }
+            require_number_or_null(v, "mean_ns")?;
+            counts[3] += 1;
+        }
+        other => return Err(format!("unknown kind `{other}`")),
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("validate_profile: cannot read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut header: Option<Value> = None;
+    let mut counts = [0u64; 4];
+    let mut lines = 0u64;
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let value = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("validate_profile: line {}: {e}: {line}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_line(&value, &mut counts) {
+            Ok(true) if header.is_some() => {
+                eprintln!("validate_profile: line {}: duplicate header", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+            Ok(true) => header = Some(value),
+            Ok(false) => {}
+            Err(msg) => {
+                eprintln!("validate_profile: line {}: {msg}: {line}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(header) = header else {
+        eprintln!("validate_profile: no header line found ({lines} lines read)");
+        return ExitCode::FAILURE;
+    };
+    for (key, got) in ["counters", "gauges", "histograms", "spans"]
+        .iter()
+        .zip(counts)
+    {
+        let declared = header.get(key).and_then(Value::as_u64).unwrap_or(0);
+        if declared != got {
+            eprintln!("validate_profile: header declares {declared} {key}, body has {got}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "profile OK: {} counters, {} gauges, {} histograms, {} spans",
+        counts[0], counts[1], counts[2], counts[3]
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,371 @@
+//! # fluxcomp-obs
+//!
+//! The workspace's **observability layer**: structured spans, monotonic
+//! counters, gauges and histograms, with a zero-cost no-op default.
+//!
+//! The paper's compass is a staged pipeline — triangular excitation →
+//! pulse-position detector → up/down counter → 8-iteration CORDIC →
+//! display — and the reproduction's performance work needs to see where
+//! time and solver effort go *per stage*, the same high-rate counting
+//! discipline as a TDC readout chip. Every hot layer of the workspace
+//! (the `msim` kernel, the `afe` front-end, the `rtl` netsim, the
+//! `compass` pipeline, the `exec` pool) records into this crate through
+//! the free functions below.
+//!
+//! ## Zero cost when off
+//!
+//! No recorder is installed by default. Every instrumentation call
+//! starts with one relaxed atomic load; when it reads `false` the call
+//! returns immediately — no clock read, no lock, no allocation. Spans
+//! don't even take the start timestamp. The e3/e4/e5 benches budget
+//! < 5 % overhead for the disabled path; instrumentation sites keep to
+//! that by recording per *run* or per *chunk*, never per analogue
+//! sample.
+//!
+//! ## Determinism
+//!
+//! Recording is strictly write-only from the instrumented code's point
+//! of view: nothing ever reads a metric back into a computation, so
+//! enabling observability cannot perturb results. The determinism suite
+//! (`tests/determinism.rs`) runs a sweep with a recorder installed and
+//! asserts bit-identical statistics.
+//!
+//! ## Selecting an exporter
+//!
+//! Binaries call [`init_from_env`] once at startup and hold the
+//! returned [`ObsSession`] until exit:
+//!
+//! ```text
+//! FLUXCOMP_OBS=json  → JSON-lines profile on stderr at session drop
+//! FLUXCOMP_OBS=text  → human-readable table on stderr at session drop
+//! FLUXCOMP_OBS=off   → (default) nothing recorded, nothing printed
+//! ```
+//!
+//! ```
+//! let session = fluxcomp_obs::init_for_test();
+//! fluxcomp_obs::counter_add("demo.fixes", 2);
+//! {
+//!     let _span = fluxcomp_obs::span("demo.stage");
+//!     // ... timed work ...
+//! }
+//! let profile = session.profile().expect("recorder installed");
+//! assert_eq!(profile.counter("demo.fixes"), Some(2));
+//! assert_eq!(profile.span("demo.stage").unwrap().count, 1);
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod recorder;
+
+pub use export::{write_json_lines, write_text, PROFILE_VERSION};
+pub use recorder::{
+    AggregatingRecorder, HistogramSummary, NoopRecorder, Profile, Recorder, SpanSummary,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// `true` when a recorder is installed. The one-load fast path every
+/// instrumentation site checks first.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
+    if let Ok(guard) = RECORDER.read() {
+        if let Some(r) = guard.as_deref() {
+            f(r);
+        }
+    }
+}
+
+/// Installs `recorder` as the global sink and enables recording.
+/// Replaces any previously installed recorder.
+pub fn install(recorder: Arc<dyn Recorder>) {
+    if let Ok(mut guard) = RECORDER.write() {
+        *guard = Some(recorder);
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Disables recording and drops the global recorder.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    if let Ok(mut guard) = RECORDER.write() {
+        *guard = None;
+    }
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.counter_add(name, delta));
+}
+
+/// Sets the named gauge. No-op when disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.gauge_set(name, value));
+}
+
+/// Records one observation into the named histogram. No-op when
+/// disabled.
+#[inline]
+pub fn histogram_record(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| r.histogram_record(name, value));
+}
+
+/// Snapshot of the currently installed recorder, if any.
+pub fn snapshot() -> Option<Profile> {
+    let mut out = None;
+    if enabled() {
+        with_recorder(|r| out = Some(r.snapshot()));
+    }
+    out
+}
+
+/// Opens a wall-clock span; the elapsed time is recorded under `name`
+/// when the returned guard drops. When observability is off the guard
+/// is inert — not even the start timestamp is taken.
+#[inline]
+#[must_use = "the span measures until the guard is dropped"]
+pub fn span(name: &'static str) -> SpanGuard {
+    let start = if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    SpanGuard { name, start }
+}
+
+/// An RAII guard for one span; see [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Completes the span now instead of at scope end.
+    pub fn finish(mut self) {
+        self.complete();
+    }
+
+    fn complete(&mut self) {
+        if let Some(start) = self.start.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            with_recorder(|r| r.span_complete(self.name, nanos));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.complete();
+    }
+}
+
+/// Which exporter (if any) the `FLUXCOMP_OBS` environment variable
+/// selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// Nothing recorded, nothing exported. The default.
+    #[default]
+    Off,
+    /// JSON-lines profile on stderr when the session drops.
+    Json,
+    /// Human-readable table on stderr when the session drops.
+    Text,
+}
+
+/// Reads `FLUXCOMP_OBS`. Unset, empty, `off`, `0` and `none` mean
+/// [`ObsMode::Off`]; unknown values also fall back to `Off` (a missing
+/// profile is obvious, a crashed example is not).
+pub fn mode_from_env() -> ObsMode {
+    match std::env::var("FLUXCOMP_OBS") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "json" | "jsonl" => ObsMode::Json,
+            "text" | "txt" | "human" => ObsMode::Text,
+            _ => ObsMode::Off,
+        },
+        Err(_) => ObsMode::Off,
+    }
+}
+
+/// A process-lifetime observability session: holds the recorder that
+/// [`init_from_env`] installed and exports its profile to stderr when
+/// dropped.
+#[derive(Debug)]
+#[must_use = "dropping the session immediately would export an empty profile"]
+pub struct ObsSession {
+    mode: ObsMode,
+    recorder: Option<Arc<AggregatingRecorder>>,
+}
+
+impl ObsSession {
+    /// The mode this session runs in.
+    pub fn mode(&self) -> ObsMode {
+        self.mode
+    }
+
+    /// Snapshot of everything recorded so far (None when off).
+    pub fn profile(&self) -> Option<Profile> {
+        self.recorder.as_ref().map(|r| r.snapshot())
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        let Some(recorder) = self.recorder.take() else {
+            return;
+        };
+        uninstall();
+        if self.mode == ObsMode::Off {
+            // Test sessions: recorder installed, but nothing printed.
+            return;
+        }
+        let profile = recorder.snapshot();
+        let stderr = std::io::stderr();
+        let mut w = stderr.lock();
+        let _ = match self.mode {
+            ObsMode::Json => write_json_lines(&profile, &mut w),
+            _ => write_text(&profile, &mut w),
+        };
+    }
+}
+
+/// Initialises observability from `FLUXCOMP_OBS` and returns the
+/// session guard. Call once at the top of `main` and keep the guard
+/// alive; the profile is exported to stderr when it drops.
+pub fn init_from_env() -> ObsSession {
+    let mode = mode_from_env();
+    init_with_mode(mode)
+}
+
+/// Like [`init_from_env`] with an explicit mode — for binaries that
+/// take the choice from a CLI flag instead.
+pub fn init_with_mode(mode: ObsMode) -> ObsSession {
+    let recorder = match mode {
+        ObsMode::Off => None,
+        ObsMode::Json | ObsMode::Text => {
+            let r = Arc::new(AggregatingRecorder::new());
+            install(r.clone());
+            Some(r)
+        }
+    };
+    ObsSession { mode, recorder }
+}
+
+/// Installs a fresh [`AggregatingRecorder`] regardless of the
+/// environment and returns a session that will **not** print on drop —
+/// read it back with [`ObsSession::profile`]. Intended for tests.
+pub fn init_for_test() -> ObsSession {
+    let r = Arc::new(AggregatingRecorder::new());
+    install(r.clone());
+    ObsSession {
+        mode: ObsMode::Off,
+        recorder: Some(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The global recorder is process-wide; tests that install one are
+    // serialised so `cargo test`'s threaded runner can't interleave
+    // them.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_calls_are_noops() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        uninstall();
+        assert!(!enabled());
+        counter_add("x", 1);
+        gauge_set("y", 1.0);
+        histogram_record("z", 1.0);
+        let g = span("s");
+        assert!(g.start.is_none());
+        drop(g);
+        assert_eq!(snapshot(), None);
+    }
+
+    #[test]
+    fn install_records_and_uninstall_stops() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        let session = init_for_test();
+        counter_add("a", 2);
+        counter_add("a", 3);
+        gauge_set("g", 0.5);
+        histogram_record("h", 2.0);
+        span("s").finish();
+        let p = session.profile().unwrap();
+        assert_eq!(p.counter("a"), Some(5));
+        assert_eq!(p.gauge("g"), Some(0.5));
+        assert_eq!(p.span("s").unwrap().count, 1);
+        uninstall();
+        counter_add("a", 100);
+        assert_eq!(session.profile().unwrap().counter("a"), Some(5));
+    }
+
+    #[test]
+    fn span_guard_times_real_work() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        let session = init_for_test();
+        {
+            let _s = span("sleepy");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let p = session.profile().unwrap();
+        let s = p.span("sleepy").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.total_nanos >= 1_000_000, "span too short: {s:?}");
+        uninstall();
+    }
+
+    #[test]
+    fn mode_parsing() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        for (v, m) in [
+            ("json", ObsMode::Json),
+            ("JSONL", ObsMode::Json),
+            ("text", ObsMode::Text),
+            ("human", ObsMode::Text),
+            ("off", ObsMode::Off),
+            ("", ObsMode::Off),
+            ("garbage", ObsMode::Off),
+        ] {
+            std::env::set_var("FLUXCOMP_OBS", v);
+            assert_eq!(mode_from_env(), m, "for {v:?}");
+        }
+        std::env::remove_var("FLUXCOMP_OBS");
+        assert_eq!(mode_from_env(), ObsMode::Off);
+    }
+
+    #[test]
+    fn off_session_records_nothing() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        uninstall();
+        let session = init_with_mode(ObsMode::Off);
+        counter_add("nope", 1);
+        assert_eq!(session.profile(), None);
+        assert_eq!(session.mode(), ObsMode::Off);
+    }
+}

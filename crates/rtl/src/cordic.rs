@@ -36,6 +36,7 @@ pub const PRESCALE_SHIFT: u32 = 7;
 
 /// Error computing a heading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ComputeHeadingError {
     /// Both inputs are zero: the field vector has no direction. Occurs in
     /// practice only with a fully shielded sensor.

@@ -214,12 +214,17 @@ impl GateSim {
             }
         }
         self.events += spent;
+        // One recorder call per settle (per clock tick at most), never
+        // per gate evaluation.
+        fluxcomp_obs::counter_add("rtl.gate_events", spent);
+        fluxcomp_obs::counter_add("rtl.settles", 1);
         spent
     }
 
     /// One positive clock edge: every DFF samples its `D`, then the
     /// resulting changes propagate.
     pub fn clock_edge(&mut self) {
+        fluxcomp_obs::counter_add("rtl.clock_edges", 1);
         // Phase 1: sample all D inputs with pre-edge values.
         let mut updates = Vec::new();
         for (idx, gate) in self.netlist.gates.iter().enumerate() {

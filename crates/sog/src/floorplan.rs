@@ -64,6 +64,7 @@ impl Block {
 
 /// Placement failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PlaceBlockError {
     /// A single block exceeds a whole quarter.
     BlockTooLarge {

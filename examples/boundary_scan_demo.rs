@@ -12,6 +12,7 @@ use fluxcomp::mcm::substrate::{Fault, McmAssembly};
 use fluxcomp::mcm::TapController;
 
 fn main() {
+    let _obs = fluxcomp::obs::init_from_env();
     let module = McmAssembly::paper_module();
     println!(
         "MCM: SoG die + 2 fluxgate sensor dies, {} substrate nets",

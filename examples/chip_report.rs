@@ -12,6 +12,7 @@ use fluxcomp::compass::chip::paper_chip;
 use fluxcomp::rtl::synth::{full_compass_inventory, inventory_total};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = fluxcomp::obs::init_from_env();
     println!("digital-section transistor inventory (synthesised + estimated):\n");
     let inventory = full_compass_inventory();
     for entry in &inventory {

@@ -15,6 +15,7 @@ use fluxcomp::rtl::watch_extras::{Alarm, CalendarDate, Stopwatch};
 use fluxcomp::units::Degrees;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = fluxcomp::obs::init_from_env();
     let mut compass = Compass::new(CompassConfig::paper_design())?;
     let mut watch = Watch::new();
     watch.set_time(TimeOfDay::new(9, 41, 57));

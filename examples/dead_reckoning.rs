@@ -12,6 +12,7 @@ use fluxcomp::fluxgate::earth::MagneticDisturbance;
 use fluxcomp::units::{Degrees, Tesla};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = fluxcomp::obs::init_from_env();
     println!("dead reckoning: 4 km square route (1 km per side)\n");
 
     let mut compass = Compass::new(CompassConfig::paper_design())?;

@@ -16,6 +16,7 @@ use fluxcomp::sog::floorplan::{Block, Floorplan};
 use fluxcomp::units::Degrees;
 
 fn main() {
+    let _obs = fluxcomp::obs::init_from_env();
     println!("1. synthesis: unrolled 8-iteration CORDIC kernel, 24-bit datapath");
     let nets = cordic_kernel_netlist(24, 18, 8);
     let stats = nets.netlist.stats();

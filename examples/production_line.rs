@@ -13,10 +13,11 @@ use fluxcomp::compass::CompassConfig;
 use fluxcomp::exec::ExecPolicy;
 use fluxcomp::fluxgate::core_model::CoreModel;
 use fluxcomp::mcm::substrate::{Fault, McmAssembly};
-use fluxcomp::msim::montecarlo::{run_monte_carlo_par, Tolerance};
+use fluxcomp::msim::montecarlo::{run_monte_carlo, Tolerance};
 use fluxcomp::units::{eng, Ampere, Degrees};
 
 fn main() {
+    let _obs = fluxcomp::obs::init_from_env();
     const BATCH: usize = 40;
     println!("manufacturing a batch of {BATCH} compass modules…\n");
 
@@ -39,7 +40,7 @@ fn main() {
     // process corner is reproducible; the metric we record is the test
     // outcome encoded as a small integer. Per-unit seeding means the
     // pooled run below is bit-identical to a serial one.
-    let result = run_monte_carlo_par(
+    let result = run_monte_carlo(
         &tolerances,
         BATCH,
         0xFAB,

@@ -8,6 +8,7 @@ use fluxcomp::compass::{Compass, CompassConfig};
 use fluxcomp::units::Degrees;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = fluxcomp::obs::init_from_env();
     // The paper's design point: 12 mA p-p @ 8 kHz excitation, adapted
     // fluxgate sensors, pulse-position detector, 4.194304 MHz counter,
     // 8-iteration CORDIC.

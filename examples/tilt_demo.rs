@@ -10,6 +10,7 @@ use fluxcomp::fluxgate::earth::{EarthField, Location};
 use fluxcomp::units::Degrees;
 
 fn main() {
+    let _obs = fluxcomp::obs::init_from_env();
     let field = EarthField::at(Location::Enschede);
     println!(
         "Enschede: {:.0} µT total, {:.0}° dip -> only {:.1} µT horizontal\n",

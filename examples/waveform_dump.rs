@@ -19,6 +19,7 @@ use fluxcomp::units::{AmperePerMeter, Tesla, MU_0};
 use std::fs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _obs = fluxcomp::obs::init_from_env();
     let mut config = FrontEndConfig::paper_design();
     config.settle_periods = 0;
     config.measure_periods = 2; // two scope periods, like Fig. 4

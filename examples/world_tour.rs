@@ -10,13 +10,17 @@
 //!
 //! ```text
 //! cargo run --release --example world_tour
+//! FLUXCOMP_OBS=json cargo run --release --example world_tour   # + profile on stderr
 //! ```
 
-use fluxcomp::compass::{evaluate::sweep_headings_par, CompassConfig, CompassDesign};
+use fluxcomp::compass::{evaluate::sweep_headings, CompassConfig, CompassDesign};
 use fluxcomp::exec::ExecPolicy;
 use fluxcomp::fluxgate::earth::Location;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // FLUXCOMP_OBS=json|text dumps the recorded profile (per-stage
+    // compass spans, msim/exec counters) to stderr when `_obs` drops.
+    let _obs = fluxcomp::obs::init_from_env();
     // One worker per core (override with FLUXCOMP_THREADS); the sweep
     // statistics are bit-identical to a serial run either way.
     let policy = ExecPolicy::auto();
@@ -30,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for location in Location::ALL {
         let design = CompassDesign::new(CompassConfig::at_location(location))?;
-        let stats = sweep_headings_par(&design, 16, &policy);
+        let stats = sweep_headings(&design, 16, &policy);
         let field = design.config().field;
         println!(
             "{:<14} {:>6.0}µT {:>8.1}µT {:>9.2}° {:>9.2}° {:>6}",

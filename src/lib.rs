@@ -12,6 +12,8 @@
 //! This crate simply re-exports the workspace members under stable names:
 //!
 //! * [`units`] — physical quantities, angles, fixed-point formats
+//! * [`obs`] — the observability layer (spans, counters, gauges,
+//!   histograms; zero-cost no-op unless a recorder is installed)
 //! * [`exec`] — the deterministic parallel sweep engine (scoped worker
 //!   pool, per-task seed derivation, streaming statistics)
 //! * [`msim`] — the mixed-signal (analogue + event-driven digital)
@@ -29,13 +31,18 @@
 //! ## Quickstart
 //!
 //! ```
-//! use fluxcomp::compass::{Compass, CompassConfig};
-//! use fluxcomp::units::Degrees;
+//! use fluxcomp::prelude::*;
 //!
 //! # fn main() -> Result<(), fluxcomp::compass::BuildError> {
 //! let mut compass = Compass::new(CompassConfig::default())?;
 //! let reading = compass.measure_heading(Degrees::new(123.0));
 //! assert!(reading.heading.angular_distance(Degrees::new(123.0)).value() <= 1.0);
+//!
+//! // Sweeps take an ExecPolicy: serial and parallel are the same
+//! // computation, bit for bit.
+//! let design = CompassDesign::new(CompassConfig::default())?;
+//! let stats = fluxcomp::compass::sweep_headings(&design, 12, &ExecPolicy::serial());
+//! assert!(stats.meets_one_degree_spec());
 //! # Ok(())
 //! # }
 //! ```
@@ -46,6 +53,24 @@ pub use fluxcomp_exec as exec;
 pub use fluxcomp_fluxgate as fluxgate;
 pub use fluxcomp_mcm as mcm;
 pub use fluxcomp_msim as msim;
+pub use fluxcomp_obs as obs;
 pub use fluxcomp_rtl as rtl;
 pub use fluxcomp_sog as sog;
 pub use fluxcomp_units as units;
+
+/// The one-line import for application code: the compass types, the
+/// execution policy and the observability surface most programs touch.
+///
+/// ```
+/// use fluxcomp::prelude::*;
+///
+/// let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+/// let reading = design.measure_heading(Degrees::new(45.0));
+/// assert!(reading.heading.angular_distance(Degrees::new(45.0)).value() <= 1.0);
+/// ```
+pub mod prelude {
+    pub use fluxcomp_compass::{Compass, CompassConfig, CompassDesign};
+    pub use fluxcomp_exec::ExecPolicy;
+    pub use fluxcomp_obs::Recorder;
+    pub use fluxcomp_units::angle::Degrees;
+}

@@ -1,18 +1,21 @@
-//! The determinism contract of the sweep engine: every parallel entry
-//! point must produce results that are **bit-for-bit identical** to the
-//! serial path at any worker count. This is what makes regression
-//! artefacts diffable across machines and CI runners.
+//! The determinism contract of the sweep engine: every unified entry
+//! point must produce results that are **bit-for-bit identical** under
+//! `ExecPolicy::Serial` and `ExecPolicy::Parallel` at any worker count.
+//! This is what makes regression artefacts diffable across machines and
+//! CI runners.
 //!
-//! Strategy: run each workload serially (the classic `&mut Compass` /
-//! `run_monte_carlo` APIs), then on the engine with 1, 2 and N workers,
-//! and compare through `f64::to_bits` — no epsilon anywhere.
+//! Strategy: run each workload with the serial policy, then with 1, 2
+//! and N workers, and compare through `f64::to_bits` — no epsilon
+//! anywhere. A final test repeats a sweep with an observability
+//! recorder installed: recording is write-only, so it must not move a
+//! single bit either.
 
-use fluxcomp::compass::evaluate::{repeat_heading_par, sweep_headings, sweep_headings_par};
-use fluxcomp::compass::tilt::{worst_tilt_error, worst_tilt_error_par, Attitude};
-use fluxcomp::compass::{AccuracyStats, Compass, CompassConfig, CompassDesign};
+use fluxcomp::compass::evaluate::{repeat_heading, sweep_headings};
+use fluxcomp::compass::tilt::{worst_tilt_error, Attitude};
+use fluxcomp::compass::{AccuracyStats, CompassConfig, CompassDesign};
 use fluxcomp::exec::ExecPolicy;
 use fluxcomp::fluxgate::earth::{EarthField, Location};
-use fluxcomp::msim::montecarlo::{run_monte_carlo, run_monte_carlo_par, Tolerance};
+use fluxcomp::msim::montecarlo::{run_monte_carlo, Tolerance};
 use fluxcomp::units::Degrees;
 
 fn policies() -> Vec<ExecPolicy> {
@@ -51,10 +54,9 @@ fn assert_stats_bitwise(a: &AccuracyStats, b: &AccuracyStats, what: &str) {
 #[test]
 fn heading_sweep_is_bit_identical_at_any_worker_count() {
     let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
-    let mut compass = Compass::from_design(design.clone());
-    let reference = sweep_headings(&mut compass, 48);
+    let reference = sweep_headings(&design, 48, &ExecPolicy::serial());
     for policy in policies() {
-        let got = sweep_headings_par(&design, 48, &policy);
+        let got = sweep_headings(&design, 48, &policy);
         assert_stats_bitwise(
             &got,
             &reference,
@@ -69,9 +71,9 @@ fn noisy_repeat_fixes_are_bit_identical_at_any_worker_count() {
     cfg.frontend.pickup_noise_rms = 2e-3;
     let design = CompassDesign::new(cfg).expect("valid design");
     let truth = Degrees::new(123.0);
-    let reference = repeat_heading_par(&design, truth, 24, &ExecPolicy::serial());
+    let reference = repeat_heading(&design, truth, 24, &ExecPolicy::serial());
     for policy in policies() {
-        let got = repeat_heading_par(&design, truth, 24, &policy);
+        let got = repeat_heading(&design, truth, 24, &policy);
         assert_eq!(got.len(), reference.len());
         for (k, (a, b)) in got.iter().zip(reference.iter()).enumerate() {
             assert_eq!(
@@ -88,9 +90,9 @@ fn noisy_repeat_fixes_are_bit_identical_at_any_worker_count() {
 fn tilt_scan_is_bit_identical_at_any_worker_count() {
     let field = EarthField::at(Location::Enschede);
     let att = Attitude::new(Degrees::new(10.0), Degrees::new(-5.0));
-    let reference = worst_tilt_error(&field, att, 360);
+    let reference = worst_tilt_error(&field, att, 360, &ExecPolicy::serial());
     for policy in policies() {
-        let got = worst_tilt_error_par(&field, att, 360, &policy);
+        let got = worst_tilt_error(&field, att, 360, &policy);
         assert_eq!(
             got.value().to_bits(),
             reference.value().to_bits(),
@@ -108,9 +110,16 @@ fn monte_carlo_is_bit_identical_at_any_worker_count() {
         Tolerance::Gaussian { rel_sigma: 0.01 },
     ];
     let evaluate = |s: &Vec<f64>| s.iter().map(|x| (x - 1.0).abs()).sum::<f64>();
-    let reference = run_monte_carlo(&tolerances, 64, 0xD1CE, evaluate, |m| m < 0.08);
+    let reference = run_monte_carlo(
+        &tolerances,
+        64,
+        0xD1CE,
+        &ExecPolicy::serial(),
+        evaluate,
+        |m| m < 0.08,
+    );
     for policy in policies() {
-        let got = run_monte_carlo_par(&tolerances, 64, 0xD1CE, &policy, evaluate, |m| m < 0.08);
+        let got = run_monte_carlo(&tolerances, 64, 0xD1CE, &policy, evaluate, |m| m < 0.08);
         assert_eq!(got.trials, reference.trials);
         assert_eq!(
             got.passes,
@@ -141,9 +150,30 @@ fn env_thread_override_does_not_change_results() {
     // fold order is fixed, so results cannot move. Exercise a handful of
     // explicit counts standing in for the env override.
     let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
-    let reference = sweep_headings_par(&design, 24, &ExecPolicy::serial());
+    let reference = sweep_headings(&design, 24, &ExecPolicy::serial());
     for threads in [1, 2, 4, 7, 16] {
-        let got = sweep_headings_par(&design, 24, &ExecPolicy::with_threads(threads));
+        let got = sweep_headings(&design, 24, &ExecPolicy::with_threads(threads));
         assert_stats_bitwise(&got, &reference, &format!("{threads} explicit threads"));
     }
+}
+
+#[test]
+fn recording_does_not_perturb_results() {
+    // Observability is write-only: running the same sweep with a
+    // recorder installed must reproduce every bit, serial and parallel —
+    // and the recorder must actually have seen the work.
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
+    let quiet_serial = sweep_headings(&design, 24, &ExecPolicy::serial());
+    let quiet_par = sweep_headings(&design, 24, &ExecPolicy::with_threads(4));
+
+    let session = fluxcomp::obs::init_for_test();
+    let loud_serial = sweep_headings(&design, 24, &ExecPolicy::serial());
+    let loud_par = sweep_headings(&design, 24, &ExecPolicy::with_threads(4));
+    let profile = session.profile().expect("recorder installed");
+    fluxcomp::obs::uninstall();
+
+    assert_stats_bitwise(&loud_serial, &quiet_serial, "recorded serial sweep");
+    assert_stats_bitwise(&loud_par, &quiet_par, "recorded parallel sweep");
+    assert_eq!(profile.counter("exec.tasks"), Some(48));
+    assert!(profile.span("compass.sweep").is_some());
 }

@@ -2,7 +2,9 @@
 //! exercised across crate boundaries.
 
 use fluxcomp::compass::evaluate::sweep_headings;
+use fluxcomp::compass::CompassDesign;
 use fluxcomp::compass::{Compass, CompassConfig, SecondHarmonicCompass};
+use fluxcomp::exec::ExecPolicy;
 use fluxcomp::fluxgate::earth::{EarthField, Location};
 use fluxcomp::rtl::lcd::{DisplayMode, SegmentPattern};
 use fluxcomp::units::{Degrees, Tesla};
@@ -11,8 +13,8 @@ use fluxcomp::units::{Degrees, Tesla};
 /// front-end → counter → CORDIC, within 1° over the circle.
 #[test]
 fn headline_one_degree_accuracy() {
-    let mut compass = Compass::new(CompassConfig::paper_design()).expect("valid config");
-    let stats = sweep_headings(&mut compass, 36);
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid config");
+    let stats = sweep_headings(&design, 36, &ExecPolicy::serial());
     assert!(
         stats.meets_one_degree_spec(),
         "max error {} over 36 headings",
@@ -28,8 +30,8 @@ fn magnitude_insensitivity_25_to_65_microtesla() {
     for ut in [25.0, 45.0, 65.0] {
         let mut cfg = CompassConfig::paper_design();
         cfg.field = EarthField::horizontal(Tesla::from_microtesla(ut));
-        let mut compass = Compass::new(cfg).expect("valid");
-        let stats = sweep_headings(&mut compass, 12);
+        let design = CompassDesign::new(cfg).expect("valid");
+        let stats = sweep_headings(&design, 12, &ExecPolicy::serial());
         assert!(
             stats.meets_one_degree_spec(),
             "at {ut} µT: max error {}",
@@ -109,8 +111,9 @@ fn display_integration() {
 /// spec is about normal latitudes; we document the degradation).
 #[test]
 fn south_pole_degrades_gracefully() {
-    let mut compass = Compass::new(CompassConfig::at_location(Location::SouthPole)).expect("valid");
-    let stats = sweep_headings(&mut compass, 8);
+    let design =
+        CompassDesign::new(CompassConfig::at_location(Location::SouthPole)).expect("valid");
+    let stats = sweep_headings(&design, 8, &ExecPolicy::serial());
     assert!(
         stats.max_error.value() < 5.0,
         "polar error should stay bounded: {}",
