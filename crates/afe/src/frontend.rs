@@ -3,9 +3,24 @@
 //! [`FrontEnd`] wires the triangular oscillator, a V-I converter, one
 //! fluxgate element and the pulse-position detector into the transient
 //! readout chain of Fig. 1's analogue section, and runs it over a
-//! configurable number of excitation periods. The output is both the raw
-//! waveform set (for the Fig. 3 / Fig. 4 reproductions) and the measured
-//! detector duty cycle (what the digital counter will digitise).
+//! configurable number of excitation periods.
+//!
+//! There are **two measurement tiers**, both fed from the same
+//! precomputed [`ExcitationTable`] (built once per channel — the drive
+//! chain is periodic and field-independent):
+//!
+//! * [`FrontEnd::measure`] — the **duty-only fast path**: tallies the
+//!   detector output inline (duty, clipping, pulse edges) with zero
+//!   per-sample allocation. This is what every heading fix, sweep and
+//!   Monte-Carlo trial runs.
+//! * [`FrontEnd::run`] — the **traced diagnostic path**: additionally
+//!   records the full `i_exc`/`v_exc`/`v_pickup`/`detector` waveform set
+//!   for the Fig. 3 / Fig. 4 reproductions and the spectrum tests.
+//!
+//! The two tiers consume identical drive values and step the noise
+//! generator and detector in the same order, so their duty cycles (and
+//! everything downstream — counts, headings) agree **bit for bit**; the
+//! determinism suite enforces this.
 //!
 //! The closed-form expectation, derived in the [`detector`](crate::detector)
 //! docs, is `duty = 1/2 − H_ext/(2·H_peak)`; the simulation reproduces it
@@ -13,6 +28,7 @@
 //! clipping, hysteretic cores).
 
 use crate::detector::{duty_cycle, DetectorConfig, PulsePositionDetector};
+use crate::excitation::ExcitationTable;
 use crate::oscillator::TriangleWave;
 use crate::vi_converter::ViConverter;
 use fluxcomp_fluxgate::noise::GaussianNoise;
@@ -20,7 +36,7 @@ use fluxcomp_fluxgate::transducer::{Fluxgate, FluxgateParams};
 use fluxcomp_msim::time::SimTime;
 use fluxcomp_msim::trace::TraceSet;
 use fluxcomp_units::magnetics::AmperePerMeter;
-use fluxcomp_units::si::Seconds;
+use fluxcomp_units::si::{Seconds, Volt};
 
 /// Configuration of one front-end channel.
 #[derive(Debug, Clone)]
@@ -67,8 +83,8 @@ impl FrontEndConfig {
 
     /// Validates the configuration without constructing a channel.
     ///
-    /// Returns the same message [`FrontEnd::new`] would panic with, so
-    /// callers can surface the problem as a recoverable error instead.
+    /// Returns the same message [`FrontEnd::new`] reports, so callers can
+    /// check a configuration before handing it over.
     pub fn check(&self) -> Result<(), &'static str> {
         if self.samples_per_period < 16 {
             return Err("need at least 16 samples per period");
@@ -86,7 +102,7 @@ impl Default for FrontEndConfig {
     }
 }
 
-/// Result of a front-end transient run.
+/// Result of a traced front-end transient run.
 #[derive(Debug, Clone)]
 pub struct FrontEndResult {
     /// Measured high fraction of the detector output over the
@@ -108,26 +124,64 @@ impl FrontEndResult {
     }
 }
 
+/// Result of a duty-only fast measurement — the tallies the digital
+/// counter side actually consumes, with no waveform capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureResult {
+    /// Measured high fraction of the detector output over the
+    /// measurement periods. Bit-identical to the traced
+    /// [`FrontEndResult::duty`] for the same configuration and seed.
+    pub duty: f64,
+    /// `true` if the V-I converter clips anywhere in the (periodic)
+    /// drive.
+    pub clipped: bool,
+    /// Detector output edges over the whole run (settle + measurement).
+    pub pulse_edges: u64,
+    /// Detector-high samples within the measurement window.
+    pub high_samples: u64,
+    /// Total samples in the measurement window.
+    pub measure_samples: u64,
+}
+
+impl MeasureResult {
+    /// The field estimate implied by the duty cycle, inverted through the
+    /// ideal detector equation `duty = 1/2 − H/(2·H_peak)`.
+    pub fn field_estimate(&self, h_peak: AmperePerMeter) -> AmperePerMeter {
+        h_peak * ((0.5 - self.duty) * 2.0)
+    }
+}
+
 /// One analogue front-end channel (oscillator → V-I → sensor → detector).
 #[derive(Debug, Clone)]
 pub struct FrontEnd {
     config: FrontEndConfig,
     sensor: Fluxgate,
+    table: ExcitationTable,
 }
 
 impl FrontEnd {
-    /// Builds the channel.
+    /// Builds the channel, precomputing one period of the excitation
+    /// drive chain (shared by every subsequent run and measurement).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples_per_period < 16` or `measure_periods == 0`, or
-    /// if the sensor parameters are invalid.
-    pub fn new(config: FrontEndConfig) -> Self {
-        if let Err(reason) = config.check() {
-            panic!("{reason}");
-        }
+    /// The [`FrontEndConfig::check`] message if `samples_per_period < 16`
+    /// or `measure_periods == 0`, or if the sensor parameters are
+    /// invalid.
+    pub fn new(config: FrontEndConfig) -> Result<Self, &'static str> {
+        config.check()?;
         let sensor = Fluxgate::new(config.sensor);
-        Self { config, sensor }
+        let table = ExcitationTable::build(
+            &config.excitation,
+            &config.vi,
+            &sensor,
+            config.samples_per_period,
+        );
+        Ok(Self {
+            config,
+            sensor,
+            table,
+        })
     }
 
     /// The configuration.
@@ -138,6 +192,11 @@ impl FrontEnd {
     /// The sensor element.
     pub fn sensor(&self) -> &Fluxgate {
         &self.sensor
+    }
+
+    /// The precomputed one-period excitation drive table.
+    pub fn excitation_table(&self) -> &ExcitationTable {
+        &self.table
     }
 
     /// The peak excitation field the configured drive produces (after
@@ -152,12 +211,13 @@ impl FrontEnd {
         self.sensor.h_from_current(delivered)
     }
 
-    /// Runs the transient readout with external axial field `h_ext` and
-    /// returns the measured duty cycle plus all waveforms.
+    /// Runs the traced transient readout with external axial field
+    /// `h_ext` and returns the measured duty cycle plus all waveforms.
     ///
     /// Noise is seeded from the configured `noise_seed`; this call is a
     /// pure function of the configuration and `h_ext`, so repeated runs
-    /// return bit-identical results.
+    /// return bit-identical results. Sweep-style callers that discard the
+    /// waveforms should use [`measure`](Self::measure) instead.
     pub fn run(&self, h_ext: AmperePerMeter) -> FrontEndResult {
         self.run_with_seed(h_ext, self.config.noise_seed)
     }
@@ -187,53 +247,47 @@ impl FrontEnd {
         let ch_d = traces.add_with_capacity("detector", total_samples);
 
         let mut detector_samples = Vec::with_capacity(cfg.measure_periods * n);
-        let mut clipped = false;
         // Pulse edges are tallied locally — one counter update per run,
         // not per analogue sample.
         let mut pulse_edges = 0u64;
         let mut prev_out = false;
 
-        for k in 0..total_periods * n {
-            let t = k as f64 * dt;
-            let sim_t = SimTime::from_seconds(Seconds::new(t));
+        for p in 0..total_periods {
+            for (j, drive) in self.table.samples().iter().enumerate() {
+                let k = p * n + j;
+                let sim_t = SimTime::from_seconds(Seconds::new(k as f64 * dt));
 
-            // Oscillator → V-I converter (with compliance limiting).
-            let demanded = cfg.excitation.value(t);
-            let i = cfg.vi.drive(demanded, cfg.sensor.r_excitation);
-            clipped |= cfg.vi.clips(demanded, cfg.sensor.r_excitation);
-            let di_dt = if i == demanded {
-                cfg.excitation.slope(t)
-            } else {
-                0.0 // clipped: current pinned at the compliance limit
-            };
+                // Sensor: total field, pickup EMF, excitation-coil
+                // voltage. The drive terms come from the shared table.
+                let h = drive.h_drive + h_ext;
+                let mut v_pickup = self.sensor.pickup_emf(h, drive.dh_dt);
+                v_pickup += Volt::new(noise.sample());
+                let v_exc = self.sensor.excitation_voltage(drive.i, drive.di_dt, h_ext);
 
-            // Sensor: total field, pickup EMF, excitation-coil voltage.
-            let h = self.sensor.h_from_current(i) + h_ext;
-            let dh_dt = self.sensor.dh_dt_from_current(di_dt);
-            let mut v_pickup = self.sensor.pickup_emf(h, dh_dt);
-            v_pickup += fluxcomp_units::Volt::new(noise.sample());
-            let v_exc = self.sensor.excitation_voltage(i, di_dt, h_ext);
+                // Detector.
+                let out = detector.step(v_pickup);
+                pulse_edges += u64::from(out != prev_out);
+                prev_out = out;
 
-            // Detector.
-            let out = detector.step(v_pickup);
-            pulse_edges += u64::from(out != prev_out);
-            prev_out = out;
+                traces.record(ch_i, sim_t, drive.i.value());
+                traces.record(ch_ve, sim_t, v_exc.value());
+                traces.record(ch_vp, sim_t, v_pickup.value());
+                traces.record(ch_d, sim_t, if out { 1.0 } else { 0.0 });
 
-            traces.record(ch_i, sim_t, i.value());
-            traces.record(ch_ve, sim_t, v_exc.value());
-            traces.record(ch_vp, sim_t, v_pickup.value());
-            traces.record(ch_d, sim_t, if out { 1.0 } else { 0.0 });
-
-            if k >= cfg.settle_periods * n {
-                detector_samples.push(out);
+                if p >= cfg.settle_periods {
+                    detector_samples.push(out);
+                }
             }
         }
 
         let duty = duty_cycle(&detector_samples).unwrap_or(0.5);
+        // The drive is periodic, so "clipped anywhere in the run" is
+        // exactly "clipped anywhere in the table's single period".
+        let clipped = self.table.any_clips();
         // The front-end drives its own analogue grid (it does not go
         // through the msim engine), so it contributes its steps to the
         // kernel-wide analogue step counter itself.
-        fluxcomp_obs::counter_add("msim.analog_steps", (total_periods * n) as u64);
+        fluxcomp_obs::counter_add("msim.analog_steps", total_samples as u64);
         fluxcomp_obs::counter_add("afe.runs", 1);
         fluxcomp_obs::counter_add("afe.pulse_edges", pulse_edges);
         fluxcomp_obs::counter_add("afe.clipped_runs", u64::from(clipped));
@@ -245,11 +299,102 @@ impl FrontEnd {
             clipped,
         }
     }
+
+    /// Runs the duty-only fast measurement with external axial field
+    /// `h_ext`: same physics, same noise sequence and same detector
+    /// stepping as [`run`](Self::run), but the detector output is tallied
+    /// inline — no waveform capture, no per-sample allocation.
+    ///
+    /// The returned duty is bit-identical to the traced path's.
+    pub fn measure(&self, h_ext: AmperePerMeter) -> MeasureResult {
+        self.measure_with_seed(h_ext, self.config.noise_seed)
+    }
+
+    /// Like [`measure`](Self::measure), but with an explicit noise seed.
+    pub fn measure_with_seed(&self, h_ext: AmperePerMeter, noise_seed: u64) -> MeasureResult {
+        let mut detector = PulsePositionDetector::new(self.config.detector);
+        self.measure_into(h_ext, noise_seed, &mut detector, |_, _| {})
+    }
+
+    /// The core of the fast path: measures into a caller-provided
+    /// detector (reset on entry, so a scratch detector can be reused
+    /// across any number of measurements) and reports every measurement-
+    /// window sample to `on_sample(index, output)` as it happens.
+    ///
+    /// `on_sample` is how the digital side rides along without an
+    /// intermediate buffer: the compass feeds each sample straight into
+    /// the up/down counter via its precomputed clock schedule. Indices
+    /// run `0..measure_periods·samples_per_period` in time order.
+    pub fn measure_into(
+        &self,
+        h_ext: AmperePerMeter,
+        noise_seed: u64,
+        detector: &mut PulsePositionDetector,
+        mut on_sample: impl FnMut(usize, bool),
+    ) -> MeasureResult {
+        let _run = fluxcomp_obs::span("afe.measure");
+        let cfg = &self.config;
+        debug_assert_eq!(
+            detector.config(),
+            &cfg.detector,
+            "scratch detector configured for a different channel"
+        );
+        detector.reset();
+        let mut noise = GaussianNoise::new(cfg.pickup_noise_rms, noise_seed);
+        let mut pulse_edges = 0u64;
+        let mut prev_out = false;
+
+        for _ in 0..cfg.settle_periods {
+            for drive in self.table.samples() {
+                let h = drive.h_drive + h_ext;
+                let mut v_pickup = self.sensor.pickup_emf(h, drive.dh_dt);
+                v_pickup += Volt::new(noise.sample());
+                let out = detector.step(v_pickup);
+                pulse_edges += u64::from(out != prev_out);
+                prev_out = out;
+            }
+        }
+
+        let mut high_samples = 0u64;
+        let mut index = 0usize;
+        for _ in 0..cfg.measure_periods {
+            for drive in self.table.samples() {
+                let h = drive.h_drive + h_ext;
+                let mut v_pickup = self.sensor.pickup_emf(h, drive.dh_dt);
+                v_pickup += Volt::new(noise.sample());
+                let out = detector.step(v_pickup);
+                pulse_edges += u64::from(out != prev_out);
+                prev_out = out;
+                high_samples += u64::from(out);
+                on_sample(index, out);
+                index += 1;
+            }
+        }
+
+        let measure_samples = index as u64;
+        // Same division as `duty_cycle(&detector_samples)` on the traced
+        // path: high/total as f64 — bit-identical by construction.
+        let duty = high_samples as f64 / measure_samples as f64;
+        let clipped = self.table.any_clips();
+        let total = (cfg.settle_periods + cfg.measure_periods) * cfg.samples_per_period;
+        fluxcomp_obs::counter_add("msim.analog_steps", total as u64);
+        fluxcomp_obs::counter_add("afe.measures", 1);
+        fluxcomp_obs::counter_add("afe.pulse_edges", pulse_edges);
+        fluxcomp_obs::counter_add("afe.clipped_runs", u64::from(clipped));
+        fluxcomp_obs::histogram_record("afe.duty", duty);
+        MeasureResult {
+            duty,
+            clipped,
+            pulse_edges,
+            high_samples,
+            measure_samples,
+        }
+    }
 }
 
 impl Default for FrontEnd {
     fn default() -> Self {
-        Self::new(FrontEndConfig::default())
+        Self::new(FrontEndConfig::default()).expect("paper design is valid")
     }
 }
 
@@ -345,7 +490,7 @@ mod tests {
                                      // ablation, which sweeps this deliberately).
         cfg.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
         cfg.measure_periods = 8;
-        let fe = FrontEnd::new(cfg);
+        let fe = FrontEnd::new(cfg).expect("valid config");
         let h = h_from_microtesla(20.0);
         let r = fe.run(h);
         let est = r.field_estimate(fe.peak_excitation_field());
@@ -357,16 +502,17 @@ mod tests {
     fn excessive_drive_reports_clipping() {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.sensor.r_excitation = fluxcomp_units::Ohm::new(2_000.0);
-        let fe = FrontEnd::new(cfg);
+        let fe = FrontEnd::new(cfg).expect("valid config");
         let r = fe.run(AmperePerMeter::ZERO);
         assert!(r.clipped);
+        assert!(fe.excitation_table().any_clips());
     }
 
     #[test]
     fn hysteretic_core_still_reads_field() {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.sensor = FluxgateParams::adapted_hysteretic(0.1);
-        let fe = FrontEnd::new(cfg);
+        let fe = FrontEnd::new(cfg).expect("valid config");
         let h = h_from_microtesla(20.0);
         let est = fe.run(h).field_estimate(fe.peak_excitation_field());
         let rel = (est.value() - h.value()).abs() / h.value();
@@ -374,10 +520,103 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "samples per period")]
     fn too_few_samples_rejected() {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.samples_per_period = 8;
-        let _ = FrontEnd::new(cfg);
+        assert_eq!(
+            FrontEnd::new(cfg).unwrap_err(),
+            "need at least 16 samples per period"
+        );
+    }
+
+    #[test]
+    fn zero_measure_periods_rejected() {
+        let mut cfg = FrontEndConfig::paper_design();
+        cfg.measure_periods = 0;
+        assert_eq!(
+            FrontEnd::new(cfg).unwrap_err(),
+            "need at least one measurement period"
+        );
+    }
+
+    /// The contract the whole fast path rests on: for every configuration
+    /// class (clean, noisy, clipping, hysteretic core), every seed and
+    /// every field, the duty-only tier reproduces the traced tier bit for
+    /// bit.
+    #[test]
+    fn measure_matches_run_bitwise() {
+        let noisy = {
+            let mut cfg = FrontEndConfig::paper_design();
+            cfg.pickup_noise_rms = 2e-3;
+            cfg.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
+            cfg
+        };
+        let clipping = {
+            let mut cfg = FrontEndConfig::paper_design();
+            cfg.sensor.r_excitation = fluxcomp_units::Ohm::new(2_000.0);
+            cfg
+        };
+        let hysteretic = {
+            let mut cfg = FrontEndConfig::paper_design();
+            cfg.sensor = FluxgateParams::adapted_hysteretic(0.1);
+            cfg
+        };
+        let configs = [
+            ("paper", FrontEndConfig::paper_design()),
+            ("noisy", noisy),
+            ("clipping", clipping),
+            ("hysteretic", hysteretic),
+        ];
+        for (name, cfg) in configs {
+            let fe = FrontEnd::new(cfg).expect("valid config");
+            for seed in [0x5EED_u64, 1, 0xDEAD_BEEF] {
+                for ut in [-20.0, 0.0, 15.0] {
+                    let h = h_from_microtesla(ut);
+                    let traced = fe.run_with_seed(h, seed);
+                    let fast = fe.measure_with_seed(h, seed);
+                    assert_eq!(
+                        traced.duty.to_bits(),
+                        fast.duty.to_bits(),
+                        "{name}: duty differs at seed {seed:#x}, {ut} µT"
+                    );
+                    assert_eq!(traced.clipped, fast.clipped, "{name}");
+                    let high = traced.detector_samples.iter().filter(|&&s| s).count() as u64;
+                    assert_eq!(high, fast.high_samples, "{name}");
+                    assert_eq!(
+                        traced.detector_samples.len() as u64,
+                        fast.measure_samples,
+                        "{name}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measure_into_reports_every_measurement_sample_in_order() {
+        let fe = FrontEnd::default();
+        let h = h_from_microtesla(15.0);
+        let mut detector = PulsePositionDetector::new(fe.config().detector);
+        let mut seen = Vec::new();
+        let result = fe.measure_into(h, fe.config().noise_seed, &mut detector, |index, out| {
+            assert_eq!(index, seen.len());
+            seen.push(out);
+        });
+        let traced = fe.run(h);
+        assert_eq!(seen, traced.detector_samples);
+        assert_eq!(result.measure_samples as usize, seen.len());
+        // Reuse: the detector is reset on entry, so a second measurement
+        // with the same (dirty) detector reproduces the first.
+        let again = fe.measure_into(h, fe.config().noise_seed, &mut detector, |_, _| {});
+        assert_eq!(result, again);
+    }
+
+    #[test]
+    fn measure_field_estimate_matches_traced_estimate() {
+        let fe = FrontEnd::default();
+        let h = h_from_microtesla(25.0);
+        let traced = fe.run(h).field_estimate(fe.peak_excitation_field());
+        let fast = fe.measure(h).field_estimate(fe.peak_excitation_field());
+        assert_eq!(traced.value().to_bits(), fast.value().to_bits());
     }
 }

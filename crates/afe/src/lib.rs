@@ -12,6 +12,9 @@
 //! * [`comparator`] — comparators with offset/hysteresis/delay;
 //! * [`detector`] — the **pulse-position detector** producing the single
 //!   digital-compatible output that makes an ADC unnecessary;
+//! * [`excitation`] — the precomputed one-period drive table (the
+//!   oscillator→V-I chain is periodic and field-independent, so both
+//!   measurement tiers read it instead of re-evaluating per sample);
 //! * [`second_harmonic`] — the classical readout the paper argues
 //!   against, implemented as the baseline for experiment E8;
 //! * [`frontend`] — the transient simulation wiring oscillator + V-I +
@@ -30,15 +33,23 @@
 //! use fluxcomp_afe::frontend::{FrontEnd, FrontEndConfig};
 //! use fluxcomp_units::AmperePerMeter;
 //!
-//! let fe = FrontEnd::new(FrontEndConfig::paper_design());
+//! # fn main() -> Result<(), &'static str> {
+//! let fe = FrontEnd::new(FrontEndConfig::paper_design())?;
 //! let h_ext = AmperePerMeter::new(12.0); // ≈ 15 µT
-//! let result = fe.run(h_ext);
+//! let result = fe.measure(h_ext); // duty-only fast path, no traces
 //! // duty = 1/2 − H/(2·H_peak); H_peak = 240 A/m → duty ≈ 0.475
 //! assert!((result.duty - 0.475).abs() < 0.005);
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! `measure` is the production hot path; [`FrontEnd::run`] additionally
+//! captures the full waveform set for the Fig. 3 / Fig. 4 diagnostics,
+//! at identical (bit-for-bit) duty output.
 
 pub mod comparator;
 pub mod detector;
+pub mod excitation;
 pub mod frontend;
 pub mod mux;
 pub mod oscillator;
@@ -49,7 +60,8 @@ pub mod vi_converter;
 
 pub use comparator::Comparator;
 pub use detector::{DetectorConfig, PulsePositionDetector};
-pub use frontend::{FrontEnd, FrontEndConfig, FrontEndResult};
+pub use excitation::{DriveSample, ExcitationTable};
+pub use frontend::{FrontEnd, FrontEndConfig, FrontEndResult, MeasureResult};
 pub use mux::AnalogMux;
 pub use oscillator::{OffsetCorrection, RelaxationOscillator, TriangleWave};
 pub use power::{BlockCurrents, PowerModel, Schedule};

@@ -13,7 +13,7 @@ fn pickup_and_rates(h_ext: AmperePerMeter) -> (Vec<f64>, f64, f64) {
     cfg.measure_periods = 8;
     let n = cfg.samples_per_period;
     let f0 = cfg.excitation.frequency().value();
-    let fe = FrontEnd::new(cfg);
+    let fe = FrontEnd::new(cfg).expect("valid config");
     let result = fe.run(h_ext);
     let samples: Vec<f64> = result
         .traces

@@ -19,7 +19,7 @@ fn print_experiment() {
         "pulse-position principle: duty cycle vs external field",
         "Fig. 3 / claim C2",
     );
-    let fe = FrontEnd::new(FrontEndConfig::paper_design());
+    let fe = FrontEnd::new(FrontEndConfig::paper_design()).expect("valid config");
     let h_peak = fe.peak_excitation_field().value();
     eprintln!("  H_peak = {h_peak:.1} A/m; prediction: duty = 1/2 - H/(2*H_peak)");
     eprintln!(
@@ -28,7 +28,7 @@ fn print_experiment() {
     );
     for ut in [-40.0, -25.0, -15.0, -5.0, 0.0, 5.0, 15.0, 25.0, 40.0] {
         let h = microtesla_to_h(ut);
-        let duty = fe.run(h).duty;
+        let duty = fe.measure(h).duty;
         let predicted = 0.5 - h.value() / (2.0 * h_peak);
         eprintln!(
             "  {ut:>8.1} {:>10.3} {duty:>12.5} {predicted:>12.5}",
@@ -44,8 +44,8 @@ fn print_experiment() {
         cfg.pickup_noise_rms = 2e-3;
         cfg.detector.hysteresis = Volt::new(hyst_mv * 1e-3);
         cfg.measure_periods = 8;
-        let fe = FrontEnd::new(cfg);
-        let est = fe.run(h).field_estimate(fe.peak_excitation_field());
+        let fe = FrontEnd::new(cfg).expect("valid config");
+        let est = fe.measure(h).field_estimate(fe.peak_excitation_field());
         let err = (est.value() - h.value()).abs() / h.value() * 100.0;
         eprintln!("  {hyst_mv:>12.1} {err:>14.2}");
     }
@@ -79,11 +79,15 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // The full front-end transient (5 periods × 4096 samples).
-    let fe = FrontEnd::new(FrontEndConfig::paper_design());
+    // The full front-end transient (5 periods × 4096 samples), traced
+    // tier vs the duty-only fast path (e11 covers the system level).
+    let fe = FrontEnd::new(FrontEndConfig::paper_design()).expect("valid config");
     let h = microtesla_to_h(15.0);
     group.bench_function("frontend_transient_5_periods", |b| {
         b.iter(|| black_box(fe.run(black_box(h)).duty))
+    });
+    group.bench_function("frontend_measure_5_periods", |b| {
+        b.iter(|| black_box(fe.measure(black_box(h)).duty))
     });
     group.finish();
 }

@@ -21,7 +21,7 @@ fn print_experiment() {
         "Fig. 4 / claim C3",
     );
 
-    let fe = FrontEnd::new(FrontEndConfig::paper_design());
+    let fe = FrontEnd::new(FrontEndConfig::paper_design()).expect("valid config");
     let no_field = fe.run(AmperePerMeter::ZERO);
     let with_field = fe.run(microtesla_to_h(50.0));
 
@@ -91,7 +91,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_waveforms");
     group.sample_size(20);
 
-    let fe = FrontEnd::new(FrontEndConfig::paper_design());
+    let fe = FrontEnd::new(FrontEndConfig::paper_design()).expect("valid config");
     let result = fe.run(microtesla_to_h(50.0));
     group.bench_function("trace_to_csv", |b| {
         b.iter(|| black_box(result.traces.to_csv().len()))

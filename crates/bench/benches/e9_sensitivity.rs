@@ -36,8 +36,8 @@ fn print_experiment() {
         let sensor = Fluxgate::new(cfg.sensor);
         let ipp = sensor.excitation_pp_for_ratio(ratio);
         cfg.excitation = TriangleWave::paper_excitation().with_amplitude_pp(ipp);
-        let fe = FrontEnd::new(cfg);
-        let result = fe.run(h_test);
+        let fe = FrontEnd::new(cfg).expect("valid config");
+        let result = fe.measure(h_test);
         let est = result.field_estimate(fe.peak_excitation_field());
         let err = (est.value() - h_test.value()) / h_test.value() * 100.0;
         eprintln!(
@@ -63,8 +63,8 @@ fn print_experiment() {
     ] {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.sensor = params;
-        let fe = FrontEnd::new(cfg);
-        let result = fe.run(h_test);
+        let fe = FrontEnd::new(cfg).expect("valid config");
+        let result = fe.measure(h_test);
         let est = result.field_estimate(fe.peak_excitation_field());
         let err = (est.value() - h_test.value()) / h_test.value() * 100.0;
         eprintln!(
@@ -91,12 +91,16 @@ fn print_experiment() {
     let offset = Ampere::new(0.5e-3);
     let mut cfg = FrontEndConfig::paper_design();
     cfg.excitation = TriangleWave::paper_excitation().with_dc_offset(offset);
-    let fe = FrontEnd::new(cfg.clone());
-    let est_uncorrected = fe.run(h_test).field_estimate(fe.peak_excitation_field());
+    let fe = FrontEnd::new(cfg.clone()).expect("valid config");
+    let est_uncorrected = fe
+        .measure(h_test)
+        .field_estimate(fe.peak_excitation_field());
     let mut servo = OffsetCorrection::new(1.0);
     cfg.excitation = servo.update(&cfg.excitation, cfg.excitation.mean());
-    let fe = FrontEnd::new(cfg);
-    let est_corrected = fe.run(h_test).field_estimate(fe.peak_excitation_field());
+    let fe = FrontEnd::new(cfg).expect("valid config");
+    let est_corrected = fe
+        .measure(h_test)
+        .field_estimate(fe.peak_excitation_field());
     eprintln!(
         "    without correction: {:.2} A/m (truth {:.2}) — biased by the offset",
         est_uncorrected.value(),
@@ -123,7 +127,7 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let fe = FrontEnd::new(FrontEndConfig::paper_design());
+    let fe = FrontEnd::new(FrontEndConfig::paper_design()).expect("valid config");
     let h = microtesla_to_h(15.0);
     group.bench_function("field_readout_end_to_end", |b| {
         b.iter(|| {

@@ -46,6 +46,45 @@ pub fn row2(label: &str, a: f64, b: f64) {
     eprintln!("  {label:<28} {a:>12.4} {b:>12.4}");
 }
 
+/// Renders a flat machine-readable benchmark record: one JSON object
+/// with the experiment id and a set of named numeric fields, in field
+/// order, `\n`-terminated — trivially diffable and `jq`-friendly.
+///
+/// # Panics
+///
+/// Panics if a field value is not finite (a NaN in a regression artefact
+/// would poison every downstream comparison silently).
+pub fn render_bench_json(experiment: &str, fields: &[(&str, f64)]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"experiment\":\"{experiment}\""));
+    for (name, value) in fields {
+        assert!(value.is_finite(), "field {name} is not finite: {value}");
+        out.push_str(&format!(",\"{name}\":{value}"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes [`render_bench_json`] output to `file_name` in the benchmark
+/// artefact directory: `$FLUXCOMP_BENCH_DIR` when set, the workspace
+/// root otherwise. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system error.
+pub fn write_bench_json(
+    file_name: &str,
+    experiment: &str,
+    fields: &[(&str, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("FLUXCOMP_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let path = dir.join(file_name);
+    std::fs::write(&path, render_bench_json(experiment, fields))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +93,20 @@ mod tests {
     fn microtesla_conversion() {
         let h = microtesla_to_h(15.0);
         assert!((h.value() - 11.936_62).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bench_json_renders_flat_object() {
+        let json = render_bench_json("e11", &[("fixes_per_s", 123.5), ("speedup", 2.0)]);
+        assert_eq!(
+            json,
+            "{\"experiment\":\"e11\",\"fixes_per_s\":123.5,\"speedup\":2}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn bench_json_rejects_nan() {
+        let _ = render_bench_json("e11", &[("bad", f64::NAN)]);
     }
 }

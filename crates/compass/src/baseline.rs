@@ -49,7 +49,8 @@ impl SecondHarmonicCompass {
         }
         let mut fe_config = config.frontend.clone();
         fe_config.sensor = config.pair.element;
-        let frontend = FrontEnd::new(fe_config);
+        let frontend =
+            FrontEnd::new(fe_config).map_err(|reason| BuildError::BadFrontEnd { reason })?;
         let demod = SecondHarmonicDemodulator::new(config.frontend.excitation.frequency());
         // Calibration run: a known positive full-scale field.
         let h_cal = AmperePerMeter::new(

@@ -12,8 +12,8 @@
 //! `ExecPolicy::Parallel { .. }` are the same computation at different
 //! speeds.
 
-use crate::system::CompassDesign;
-use fluxcomp_exec::{derive_seed, par_map_range, ExecPolicy, StreamStats};
+use crate::system::{CompassDesign, MeasureScratch};
+use fluxcomp_exec::{derive_seed, par_map_range, par_map_range_scratch, ExecPolicy, StreamStats};
 use fluxcomp_units::angle::Degrees;
 
 /// Error statistics over a heading sweep.
@@ -55,10 +55,10 @@ impl AccuracyStats {
 
 /// The signed heading error (degrees) of one fix at sweep point `k` of
 /// `n`: truth is `k·360/n`.
-fn sweep_error(design: &CompassDesign, k: usize, n: usize) -> f64 {
+fn sweep_error(design: &CompassDesign, scratch: &mut MeasureScratch, k: usize, n: usize) -> f64 {
     let truth = Degrees::new(k as f64 * 360.0 / n as f64);
     design
-        .measure_heading(truth)
+        .measure_heading_scratch(truth, design.config().frontend.noise_seed, scratch)
         .heading
         .signed_error_from(truth)
         .value()
@@ -71,21 +71,52 @@ fn sweep_error(design: &CompassDesign, k: usize, n: usize) -> f64 {
 /// [`ExecPolicy::parallel`] — and the statistics are folded in sweep
 /// order, so the result is bit-identical at any worker count.
 ///
+/// Every fix runs on the duty-only fast path through one
+/// [`MeasureScratch`] per worker, so the whole sweep performs no
+/// per-heading allocation. The result is nonetheless bit-identical to
+/// [`sweep_headings_traced`], which replays the sweep on the diagnostic
+/// full-waveform tier.
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.
 pub fn sweep_headings(design: &CompassDesign, n: usize, policy: &ExecPolicy) -> AccuracyStats {
     assert!(n > 0, "need at least one heading");
     let _sweep = fluxcomp_obs::span("compass.sweep");
-    let errors = par_map_range(policy, n, |k| sweep_error(design, k, n));
+    let errors = par_map_range_scratch(
+        policy,
+        n,
+        || MeasureScratch::for_design(design),
+        |scratch, k| sweep_error(design, scratch, k, n),
+    );
     AccuracyStats::from_signed_errors(errors)
 }
 
-/// Deprecated twin of [`sweep_headings`] from before the execution
-/// policy was an argument of the unified entry point.
-#[deprecated(since = "0.1.0", note = "use `sweep_headings(design, n, policy)`")]
-pub fn sweep_headings_par(design: &CompassDesign, n: usize, policy: &ExecPolicy) -> AccuracyStats {
-    sweep_headings(design, n, policy)
+/// [`sweep_headings`] on the diagnostic tier: every fix records the full
+/// waveform set before integrating the counter. Same statistics, bit for
+/// bit — this is the cross-check the determinism suite and the `e11`
+/// benchmark run against the fast path.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sweep_headings_traced(
+    design: &CompassDesign,
+    n: usize,
+    policy: &ExecPolicy,
+) -> AccuracyStats {
+    assert!(n > 0, "need at least one heading");
+    let _sweep = fluxcomp_obs::span("compass.sweep");
+    let seed = design.config().frontend.noise_seed;
+    let errors = par_map_range(policy, n, |k| {
+        let truth = Degrees::new(k as f64 * 360.0 / n as f64);
+        design
+            .measure_heading_traced(truth, seed)
+            .heading
+            .signed_error_from(truth)
+            .value()
+    });
+    AccuracyStats::from_signed_errors(errors)
 }
 
 /// Evaluates a single heading `repeats` times (for noise studies) and
@@ -94,7 +125,8 @@ pub fn sweep_headings_par(design: &CompassDesign, n: usize, policy: &ExecPolicy)
 /// Every repeat uses a distinct noise seed derived from the design's
 /// configured seed and the repeat index, so the trials are independent
 /// noise realisations yet the whole study is reproducible — and, like
-/// [`sweep_headings`], bit-identical under any `policy`.
+/// [`sweep_headings`], bit-identical under any `policy`. Fixes run on
+/// the fast path with one reused [`MeasureScratch`] per worker.
 pub fn repeat_heading(
     design: &CompassDesign,
     heading: Degrees,
@@ -102,28 +134,18 @@ pub fn repeat_heading(
     policy: &ExecPolicy,
 ) -> Vec<f64> {
     let base = design.config().frontend.noise_seed;
-    par_map_range(policy, repeats, |k| {
-        design
-            .measure_heading_seeded(heading, derive_seed(base, k as u64))
-            .heading
-            .signed_error_from(heading)
-            .value()
-    })
-}
-
-/// Deprecated twin of [`repeat_heading`] from before the execution
-/// policy was an argument of the unified entry point.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `repeat_heading(design, heading, repeats, policy)`"
-)]
-pub fn repeat_heading_par(
-    design: &CompassDesign,
-    heading: Degrees,
-    repeats: usize,
-    policy: &ExecPolicy,
-) -> Vec<f64> {
-    repeat_heading(design, heading, repeats, policy)
+    par_map_range_scratch(
+        policy,
+        repeats,
+        || MeasureScratch::for_design(design),
+        |scratch, k| {
+            design
+                .measure_heading_scratch(heading, derive_seed(base, k as u64), scratch)
+                .heading
+                .signed_error_from(heading)
+                .value()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -163,18 +185,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_the_unified_api() {
+    fn traced_sweep_matches_fast_sweep_bitwise() {
         let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
-        let policy = ExecPolicy::serial();
-        assert_eq!(
-            sweep_headings(&design, 8, &policy),
-            sweep_headings_par(&design, 8, &policy)
-        );
-        assert_eq!(
-            repeat_heading(&design, Degrees::new(45.0), 2, &policy),
-            repeat_heading_par(&design, Degrees::new(45.0), 2, &policy)
-        );
+        for policy in [ExecPolicy::serial(), ExecPolicy::with_threads(2)] {
+            let fast = sweep_headings(&design, 16, &policy);
+            let traced = sweep_headings_traced(&design, 16, &policy);
+            assert_eq!(fast.samples, traced.samples);
+            for (f, t) in [
+                (fast.max_error, traced.max_error),
+                (fast.mean_error, traced.mean_error),
+                (fast.rms_error, traced.rms_error),
+                (fast.bias, traced.bias),
+            ] {
+                assert_eq!(f.value().to_bits(), t.value().to_bits(), "{policy:?}");
+            }
+        }
     }
 
     #[test]

@@ -68,7 +68,8 @@ impl GateLevelCompass {
         let (counter_nl, up, bus) = updown_counter(16);
         let cordic_nets = cordic_kernel_netlist(24, 18, 8);
         Ok(Self {
-            frontend: FrontEnd::new(fe_config),
+            // The config was validated by the behavioural constructor above.
+            frontend: FrontEnd::new(fe_config).expect("validated"),
             pair: SensorPair::new(config.pair),
             counter_sim: GateSim::new(counter_nl),
             counter_up: up,

@@ -66,15 +66,11 @@ pub use calibration::Calibration;
 pub use chip::{build_chip, paper_chip, ChipReport};
 pub use config::{BuildError, CompassConfig};
 pub use energy::{battery_life_days, Battery, UsageProfile};
-pub use evaluate::{repeat_heading, sweep_headings, AccuracyStats};
-#[allow(deprecated)]
-pub use evaluate::{repeat_heading_par, sweep_headings_par};
+pub use evaluate::{repeat_heading, sweep_headings, sweep_headings_traced, AccuracyStats};
 pub use filter::{circular_mean, circular_std, HeadingSmoother};
 pub use gate_level::{GateLevelCompass, GateLevelReading};
 pub use mission::{square_route, walk_route, Leg, MissionResult, Position};
 pub use production::{production_test, production_test_batch, ProductionResult, RejectReason};
 pub use selftest::{run_self_test, SelfTestReport};
-pub use system::{AxisMeasurement, Compass, CompassDesign, Reading};
-#[allow(deprecated)]
-pub use tilt::worst_tilt_error_par;
+pub use system::{AxisMeasurement, Compass, CompassDesign, MeasureScratch, Reading};
 pub use tilt::{tilt_compensated_heading, two_axis_heading, worst_tilt_error, Attitude};

@@ -19,9 +19,10 @@
 //! the functional field check.
 
 use crate::config::CompassConfig;
+use fluxcomp_afe::detector::PulsePositionDetector;
 use fluxcomp_afe::frontend::{FrontEnd, FrontEndConfig};
 use fluxcomp_fluxgate::transducer::Fluxgate;
-use fluxcomp_rtl::counter::{sample_at_clock, UpDownCounter};
+use fluxcomp_rtl::counter::{ClockSchedule, UpDownCounter};
 use fluxcomp_units::magnetics::AmperePerMeter;
 use fluxcomp_units::si::Ampere;
 
@@ -55,12 +56,22 @@ pub fn run_self_test(config: &CompassConfig, test_offset: Ampere) -> SelfTestRep
     let sensor = Fluxgate::new(fe_config.sensor);
 
     let window = fe_config.measure_periods as f64 / fe_config.excitation.frequency().value();
+    // Both runs share the measurement grid, so one precomputed clock
+    // schedule serves baseline and stimulated counts alike.
+    let schedule = ClockSchedule::new(
+        fe_config.measure_periods * fe_config.samples_per_period,
+        window,
+        config.clock.master(),
+    );
     let count_of = |cfg: FrontEndConfig| {
-        let fe = FrontEnd::new(cfg);
-        let result = fe.run(AmperePerMeter::ZERO);
-        let stream = sample_at_clock(&result.detector_samples, window, config.clock.master());
+        let fe = FrontEnd::new(cfg).expect("self-test front-end config is valid");
+        let mut detector = PulsePositionDetector::new(fe.config().detector);
         let mut counter = UpDownCounter::paper_design();
-        counter.run(stream)
+        let seed = fe.config().noise_seed;
+        fe.measure_into(AmperePerMeter::ZERO, seed, &mut detector, |index, up| {
+            counter.clock_n(up, schedule.edges_at(index));
+        });
+        counter.value()
     };
 
     let baseline_count = count_of(fe_config.clone());
@@ -78,7 +89,9 @@ pub fn run_self_test(config: &CompassConfig, test_offset: Ampere) -> SelfTestRep
     let h_peak = {
         let mut design_fe = design.frontend.clone();
         design_fe.sensor = design.pair.element;
-        FrontEnd::new(design_fe).peak_excitation_field()
+        FrontEnd::new(design_fe)
+            .expect("paper design is valid")
+            .peak_excitation_field()
     };
     let _ = sensor;
     let expected_delta = -config.clock.master().value() * window * h_equiv.value() / h_peak.value();

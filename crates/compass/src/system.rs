@@ -29,10 +29,11 @@
 //! watch-level examples and the power schedule.
 
 use crate::config::{BuildError, CompassConfig};
+use fluxcomp_afe::detector::PulsePositionDetector;
 use fluxcomp_afe::frontend::{FrontEnd, FrontEndResult};
 use fluxcomp_fluxgate::pair::{Axis, SensorPair};
 use fluxcomp_rtl::cordic::CordicArctan;
-use fluxcomp_rtl::counter::{sample_at_clock, UpDownCounter};
+use fluxcomp_rtl::counter::{sample_at_clock, ClockSchedule, UpDownCounter};
 use fluxcomp_rtl::lcd::DisplayDriver;
 use fluxcomp_rtl::sequencer::{Sequencer, SequencerState};
 use fluxcomp_units::angle::Degrees;
@@ -77,6 +78,34 @@ pub struct CompassDesign {
     frontend: FrontEnd,
     pair: SensorPair,
     cordic: CordicArctan,
+    /// Counter edges per analogue sample — precomputed once so the fast
+    /// path never re-derives the clock/grid alignment per fix.
+    schedule: ClockSchedule,
+}
+
+/// Reusable per-worker state for the duty-only fast path: one detector
+/// and one up/down counter, both fully reset at the start of every fix.
+///
+/// Build one per worker with [`MeasureScratch::for_design`] and pass it
+/// to [`CompassDesign::measure_axis_scratch`] /
+/// [`CompassDesign::measure_heading_scratch`]; results are bit-identical
+/// to the fresh-state entry points, so the sweep engine can keep a
+/// scratch alive across thousands of fixes without allocating.
+#[derive(Debug, Clone)]
+pub struct MeasureScratch {
+    detector: PulsePositionDetector,
+    counter: UpDownCounter,
+}
+
+impl MeasureScratch {
+    /// Scratch blocks matching `design`'s detector configuration and the
+    /// paper's counter width.
+    pub fn for_design(design: &CompassDesign) -> Self {
+        Self {
+            detector: PulsePositionDetector::new(design.config.frontend.detector),
+            counter: UpDownCounter::paper_design(),
+        }
+    }
 }
 
 impl CompassDesign {
@@ -92,10 +121,19 @@ impl CompassDesign {
         config.validate()?;
         let mut fe_config = config.frontend.clone();
         fe_config.sensor = config.pair.element;
+        let window =
+            config.frontend.measure_periods as f64 / config.frontend.excitation.frequency().value();
+        let schedule = ClockSchedule::new(
+            config.frontend.measure_periods * config.frontend.samples_per_period,
+            window,
+            config.clock.master(),
+        );
         Ok(Self {
-            frontend: FrontEnd::new(fe_config),
+            frontend: FrontEnd::new(fe_config)
+                .map_err(|reason| BuildError::BadFrontEnd { reason })?,
             pair: SensorPair::new(config.pair),
             cordic: CordicArctan::new(config.cordic_iterations),
+            schedule,
             config,
         })
     }
@@ -111,9 +149,9 @@ impl CompassDesign {
         self.frontend.peak_excitation_field()
     }
 
-    /// Measures a single axis with the platform at `true_heading`:
-    /// transient front-end run + counter integration. Noise (if
-    /// configured) is seeded from the configuration's `noise_seed`.
+    /// Measures a single axis with the platform at `true_heading` on the
+    /// duty-only fast path. Noise (if configured) is seeded from the
+    /// configuration's `noise_seed`.
     pub fn measure_axis(&self, axis: Axis, true_heading: Degrees) -> AxisMeasurement {
         self.measure_axis_seeded(axis, true_heading, self.config.frontend.noise_seed)
     }
@@ -122,6 +160,60 @@ impl CompassDesign {
     /// seed — the entry point for repeat studies that need a different
     /// noise realisation per fix while staying deterministic.
     pub fn measure_axis_seeded(
+        &self,
+        axis: Axis,
+        true_heading: Degrees,
+        noise_seed: u64,
+    ) -> AxisMeasurement {
+        let mut scratch = MeasureScratch::for_design(self);
+        self.measure_axis_scratch(axis, true_heading, noise_seed, &mut scratch)
+    }
+
+    /// The allocation-free fast path: duty-only front-end measurement
+    /// fused with counter integration through a caller-owned
+    /// [`MeasureScratch`].
+    ///
+    /// The detector output is fed straight into the up/down counter via
+    /// the precomputed [`ClockSchedule`] — no waveform traces, no
+    /// detector-sample buffer, no clock-domain resampling pass. Output is
+    /// bit-identical to [`measure_axis_traced`](Self::measure_axis_traced).
+    pub fn measure_axis_scratch(
+        &self,
+        axis: Axis,
+        true_heading: Degrees,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+    ) -> AxisMeasurement {
+        let h_ext = self
+            .pair
+            .axial_field(axis, &self.config.field, true_heading);
+        // One span covers the fused excitation→detector→counter pass;
+        // the traced tier keeps the three per-stage spans.
+        let _excitation = fluxcomp_obs::span("compass.stage.excitation");
+        let MeasureScratch { detector, counter } = scratch;
+        counter.reset();
+        let schedule = &self.schedule;
+        let outcome = self
+            .frontend
+            .measure_into(h_ext, noise_seed, detector, |index, up| {
+                counter.clock_n(up, schedule.edges_at(index));
+            });
+        AxisMeasurement {
+            axis,
+            duty: outcome.duty,
+            count: counter.value(),
+            clipped: outcome.clipped,
+        }
+    }
+
+    /// The diagnostic tier: full transient front-end run (all waveform
+    /// traces recorded) + clock-domain resampling + counter integration.
+    ///
+    /// Bit-identical duty/count/clipped to the fast path — enforced by
+    /// the workspace determinism suite — but allocates the complete
+    /// `i_exc`/`v_exc`/`v_pickup`/`detector` trace set per fix. Use it
+    /// when the waveforms matter (Fig. 3 / Fig. 4 regeneration, debug).
+    pub fn measure_axis_traced(
         &self,
         axis: Axis,
         true_heading: Degrees,
@@ -162,8 +254,35 @@ impl CompassDesign {
     /// Like [`measure_heading`](Self::measure_heading) with an explicit
     /// noise seed applied to both axis measurements.
     pub fn measure_heading_seeded(&self, true_heading: Degrees, noise_seed: u64) -> Reading {
-        let x = self.measure_axis_seeded(Axis::X, true_heading, noise_seed);
-        let y = self.measure_axis_seeded(Axis::Y, true_heading, noise_seed);
+        let mut scratch = MeasureScratch::for_design(self);
+        self.measure_heading_scratch(true_heading, noise_seed, &mut scratch)
+    }
+
+    /// One full fix on the fast path through a caller-owned scratch —
+    /// the sweep engine's per-worker entry point. Bit-identical to
+    /// [`measure_heading_seeded`](Self::measure_heading_seeded).
+    pub fn measure_heading_scratch(
+        &self,
+        true_heading: Degrees,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+    ) -> Reading {
+        let x = self.measure_axis_scratch(Axis::X, true_heading, noise_seed, scratch);
+        let y = self.measure_axis_scratch(Axis::Y, true_heading, noise_seed, scratch);
+        self.fold_heading(x, y)
+    }
+
+    /// One full fix on the diagnostic (traced) tier — both axes via
+    /// [`measure_axis_traced`](Self::measure_axis_traced).
+    pub fn measure_heading_traced(&self, true_heading: Degrees, noise_seed: u64) -> Reading {
+        let x = self.measure_axis_traced(Axis::X, true_heading, noise_seed);
+        let y = self.measure_axis_traced(Axis::Y, true_heading, noise_seed);
+        self.fold_heading(x, y)
+    }
+
+    /// CORDIC + polarity fold shared by every fix entry point, so the
+    /// fast, traced and watch-level paths cannot drift apart.
+    fn fold_heading(&self, x: AxisMeasurement, y: AxisMeasurement) -> Reading {
         let _cordic_stage = fluxcomp_obs::span("compass.stage.cordic");
         let (heading, cycles) = match self.cordic.heading(-x.count, -y.count) {
             Ok(r) => (r.heading, r.cycles),
@@ -272,23 +391,13 @@ impl Compass {
         }
         debug_assert_eq!(self.sequencer.state(), SequencerState::Compute);
 
-        let cordic_stage = fluxcomp_obs::span("compass.stage.cordic");
-        let (heading, cycles) = match self.design.cordic.heading(-x.count, -y.count) {
-            Ok(r) => (r.heading, r.cycles),
-            Err(_) => (Degrees::ZERO, self.design.cordic.iterations()),
-        };
-        drop(cordic_stage);
+        let reading = self.design.fold_heading(x, y);
         let _display_stage = fluxcomp_obs::span("compass.stage.display");
         for _ in 0..8 {
             self.sequencer.advance();
         }
-        self.display.latch_heading(heading);
-        Reading {
-            heading,
-            x,
-            y,
-            cordic_cycles: cycles,
-        }
+        self.display.latch_heading(reading.heading);
+        reading
     }
 
     /// The floating-point reference heading for the current field and a
@@ -344,6 +453,49 @@ mod tests {
             );
             assert_eq!(from_design.x.count, from_compass.x.count);
             assert_eq!(from_design.y.count, from_compass.y.count);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_traced_path_bitwise() {
+        let mut cfg = CompassConfig::paper_design();
+        cfg.frontend.pickup_noise_rms = 2e-3;
+        cfg.frontend.detector.hysteresis = fluxcomp_units::Volt::new(0.016);
+        let design = CompassDesign::new(cfg).unwrap();
+        let seed = design.config().frontend.noise_seed;
+        for deg in [0.0, 45.0, 123.0, 287.25, 359.0] {
+            let truth = Degrees::new(deg);
+            let fast = design.measure_heading_seeded(truth, seed);
+            let traced = design.measure_heading_traced(truth, seed);
+            assert_eq!(
+                fast.heading.value().to_bits(),
+                traced.heading.value().to_bits(),
+                "heading at {deg}"
+            );
+            for (f, t) in [(&fast.x, &traced.x), (&fast.y, &traced.y)] {
+                assert_eq!(f.count, t.count, "count at {deg}");
+                assert_eq!(f.duty.to_bits(), t.duty.to_bits(), "duty at {deg}");
+                assert_eq!(f.clipped, t.clipped, "clipped at {deg}");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_state() {
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let seed = design.config().frontend.noise_seed;
+        let mut scratch = MeasureScratch::for_design(&design);
+        for deg in [10.0, 200.0, 355.5, 10.0] {
+            let truth = Degrees::new(deg);
+            let reused = design.measure_heading_scratch(truth, seed, &mut scratch);
+            let fresh = design.measure_heading_seeded(truth, seed);
+            assert_eq!(
+                reused.heading.value().to_bits(),
+                fresh.heading.value().to_bits(),
+                "at {deg}"
+            );
+            assert_eq!(reused.x.count, fresh.x.count);
+            assert_eq!(reused.y.count, fresh.y.count);
         }
     }
 

@@ -125,21 +125,6 @@ pub fn worst_tilt_error(
     Degrees::new(errors.into_iter().fold(0.0f64, f64::max))
 }
 
-/// Deprecated twin of [`worst_tilt_error`] from before the execution
-/// policy was an argument of the unified entry point.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `worst_tilt_error(field, attitude, n, policy)`"
-)]
-pub fn worst_tilt_error_par(
-    field: &EarthField,
-    attitude: Attitude,
-    n: usize,
-    policy: &fluxcomp_exec::ExecPolicy,
-) -> Degrees {
-    worst_tilt_error(field, attitude, n, policy)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,17 +239,6 @@ mod tests {
             );
             assert_eq!(serial.value().to_bits(), par.value().to_bits());
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_forwards_to_the_unified_api() {
-        let tilt = Attitude::new(Degrees::new(5.0), Degrees::ZERO);
-        let policy = fluxcomp_exec::ExecPolicy::serial();
-        assert_eq!(
-            worst_tilt_error(&enschede(), tilt, 12, &policy),
-            worst_tilt_error_par(&enschede(), tilt, 12, &policy)
-        );
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod pool;
 pub mod seed;
 pub mod stats;
 
-pub use pool::{par_map, par_map_range, ExecPolicy};
+pub use pool::{par_map, par_map_range, par_map_range_scratch, par_map_scratch, ExecPolicy};
 pub use seed::derive_seed;
 pub use stats::{SortedSamples, StreamStats};

@@ -139,12 +139,42 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_scratch(policy, items, || (), |_, index, item| f(index, item))
+}
+
+/// Like [`par_map`], but with a reusable per-worker scratch value.
+///
+/// Each execution context — the calling thread under a serial policy,
+/// each worker thread otherwise — builds **one** scratch with `init`
+/// (lazily, on its first task) and reuses it for every task it runs, so
+/// per-task setup that would otherwise be allocated for every item (a
+/// detector + counter pair, a solver workspace, …) is paid once per
+/// worker instead. `f` receives `(&mut scratch, index, &item)`.
+///
+/// The determinism contract still holds for any `f` that is a pure
+/// function of `(index, item)` *given a freshly initialised scratch it
+/// fully resets per task* — which scratch between tasks `f` happens to
+/// receive must not leak into the result. The compass measurement
+/// scratch resets its detector and counter on every fix for exactly this
+/// reason.
+pub fn par_map_scratch<S, T, U, I, F>(policy: &ExecPolicy, items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let n = items.len();
     let workers = policy.threads().min(n.max(1));
     fluxcomp_obs::counter_add("exec.tasks", n as u64);
     if workers <= 1 {
         fluxcomp_obs::counter_add("exec.serial_maps", 1);
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
     }
     fluxcomp_obs::counter_add("exec.par_maps", 1);
 
@@ -158,6 +188,7 @@ where
         for _ in 0..workers {
             scope.spawn(|| {
                 let busy = fluxcomp_obs::span("exec.worker_busy");
+                let mut scratch: Option<S> = None;
                 let mut local: Vec<(usize, U)> = Vec::new();
                 let mut chunks_claimed = 0u64;
                 loop {
@@ -169,7 +200,8 @@ where
                     let end = (start + chunk).min(n);
                     for (i, item) in items[start..end].iter().enumerate() {
                         let index = start + i;
-                        local.push((index, f(index, item)));
+                        let scratch = scratch.get_or_insert_with(&init);
+                        local.push((index, f(scratch, index, item)));
                     }
                 }
                 fluxcomp_obs::counter_add("exec.chunks_claimed", chunks_claimed);
@@ -210,14 +242,30 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    par_map_range_scratch(policy, n, || (), |_, k| f(k))
+}
+
+/// Index-range twin of [`par_map_scratch`]: maps `f(&mut scratch, k)`
+/// over `0..n` with one lazily built scratch per execution context.
+///
+/// This is the engine under the allocation-free sweeps: a serial sweep
+/// reuses a single scratch across all `n` fixes, a parallel sweep one
+/// per worker thread.
+pub fn par_map_range_scratch<S, U, I, F>(policy: &ExecPolicy, n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
     let workers = policy.threads().min(n.max(1));
     if workers <= 1 {
         fluxcomp_obs::counter_add("exec.tasks", n as u64);
         fluxcomp_obs::counter_add("exec.serial_maps", 1);
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|k| f(&mut scratch, k)).collect();
     }
     let indices: Vec<usize> = (0..n).collect();
-    par_map(policy, &indices, |_, &k| f(k))
+    par_map_scratch(policy, &indices, init, |scratch, _, &k| f(scratch, k))
 }
 
 #[cfg(test)]
@@ -302,6 +350,70 @@ mod tests {
         });
         for (k, (kk, _)) in out.iter().enumerate() {
             assert_eq!(k, *kk);
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_context() {
+        // Serial: one scratch sees every task in order.
+        let out = par_map_range_scratch(
+            &ExecPolicy::serial(),
+            10,
+            || 0u32,
+            |calls, k| {
+                *calls += 1;
+                (*calls, k)
+            },
+        );
+        for (k, &(calls, kk)) in out.iter().enumerate() {
+            assert_eq!(kk, k);
+            assert_eq!(calls as usize, k + 1, "serial scratch not reused");
+        }
+        // Parallel: results stay ordered and correct regardless of which
+        // worker's scratch computed them.
+        let out = par_map_range_scratch(
+            &ExecPolicy::with_threads(4),
+            100,
+            || 0u32,
+            |calls, k| {
+                *calls += 1;
+                k * 2
+            },
+        );
+        assert_eq!(out, (0..100).map(|k| k * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_init_runs_at_most_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = par_map_range_scratch(
+            &ExecPolicy::with_threads(4),
+            64,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u8
+            },
+            |_, k| k,
+        );
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        let count = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&count), "scratch built {count} times");
+    }
+
+    #[test]
+    fn scratch_map_over_items_matches_plain_map() {
+        let items: Vec<f64> = (0..513).map(|k| k as f64 * 0.7).collect();
+        let plain = par_map(&ExecPolicy::with_threads(3), &items, |i, x| {
+            x.sin() + i as f64
+        });
+        let scratched = par_map_scratch(
+            &ExecPolicy::with_threads(3),
+            &items,
+            || (),
+            |_, i, x| x.sin() + i as f64,
+        );
+        for (a, b) in plain.iter().zip(&scratched) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -54,8 +54,6 @@ pub mod trace;
 
 pub use ac::Complex;
 pub use engine::MixedSignalSim;
-#[allow(deprecated)]
-pub use montecarlo::run_monte_carlo_par;
 pub use montecarlo::{run_monte_carlo, MonteCarloResult, Tolerance};
 pub use scheduler::EventQueue;
 pub use solver::{Method, OdeSolver};

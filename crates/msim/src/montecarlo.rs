@@ -161,27 +161,6 @@ where
     MonteCarloResult::new(trials, pass_count, metrics)
 }
 
-/// Deprecated twin of [`run_monte_carlo`] from before the execution
-/// policy was an argument of the unified entry point.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `run_monte_carlo(tolerances, trials, seed, policy, evaluate, passes)`"
-)]
-pub fn run_monte_carlo_par<F, P>(
-    tolerances: &[Tolerance],
-    trials: usize,
-    seed: u64,
-    policy: &ExecPolicy,
-    evaluate: F,
-    passes: P,
-) -> MonteCarloResult
-where
-    F: Fn(&Sample) -> f64 + Sync,
-    P: FnMut(f64) -> bool,
-{
-    run_monte_carlo(tolerances, trials, seed, policy, evaluate, passes)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,16 +196,6 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_forwards_to_the_unified_api() {
-        let tol = [Tolerance::Uniform { tol: 0.1 }];
-        let policy = ExecPolicy::serial();
-        let unified = run_monte_carlo(&tol, 20, 4, &policy, |s| s[0], |m| m > 1.0);
-        let shim = run_monte_carlo_par(&tol, 20, 4, &policy, |s| s[0], |m| m > 1.0);
-        assert_eq!(unified, shim);
     }
 
     #[test]

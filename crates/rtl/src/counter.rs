@@ -95,6 +95,28 @@ impl UpDownCounter {
         };
     }
 
+    /// Applies `edges` consecutive master-clock edges that all sample the
+    /// same detector level — the closed form of calling
+    /// [`clock`](Self::clock) `edges` times. Exactly equivalent,
+    /// including saturation: a saturating add of `edges` lands on the
+    /// same value as `edges` saturating adds of one.
+    ///
+    /// This is what makes the zero-order-hold resampling free on the fast
+    /// measurement path: the edges within one analogue sample all see the
+    /// same detector output, so a [`ClockSchedule`] can batch them.
+    pub fn clock_n(&mut self, up: bool, edges: u32) {
+        if !self.enabled || edges == 0 {
+            return;
+        }
+        let max = self.max_value();
+        let min = -max - 1;
+        self.value = if up {
+            (self.value + i64::from(edges)).min(max)
+        } else {
+            (self.value - i64::from(edges)).max(min)
+        };
+    }
+
     /// Runs the counter over a pre-sampled detector stream (one sample
     /// per master-clock edge) and returns the final count.
     pub fn run(&mut self, detector_at_clock: impl IntoIterator<Item = bool>) -> i64 {
@@ -131,6 +153,66 @@ pub fn sample_at_clock(detector: &[bool], window_seconds: f64, clock: Hertz) -> 
             detector[idx.min(n - 1)]
         })
         .collect()
+}
+
+/// The precomputed zero-order-hold resampling of [`sample_at_clock`]:
+/// how many master-clock edges land on each analogue grid sample of the
+/// measurement window.
+///
+/// The edge→sample mapping depends only on the grid size, the window
+/// length and the clock — not on the detector data — so a design
+/// computes it once and every fix replays it with
+/// [`UpDownCounter::clock_n`]. Because the mapping is monotone
+/// nondecreasing in edge index, applying the edges grouped per sample in
+/// sample order is exactly the per-edge [`UpDownCounter::run`] over
+/// [`sample_at_clock`]'s stream — including counter saturation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockSchedule {
+    edges_per_sample: Vec<u32>,
+    total_edges: usize,
+}
+
+impl ClockSchedule {
+    /// Builds the schedule for `n_samples` uniform detector samples
+    /// covering `window_seconds`, clocked at `clock`. Degenerate inputs
+    /// (no samples, non-positive window) yield an empty schedule, same
+    /// as [`sample_at_clock`]'s empty stream.
+    pub fn new(n_samples: usize, window_seconds: f64, clock: Hertz) -> Self {
+        if n_samples == 0 || window_seconds <= 0.0 {
+            return Self {
+                edges_per_sample: Vec::new(),
+                total_edges: 0,
+            };
+        }
+        let edges = (window_seconds * clock.value()) as usize;
+        let mut edges_per_sample = vec![0u32; n_samples];
+        // Mirror sample_at_clock's mapping expression exactly so the
+        // fast path quantises like the traced path, bit for bit.
+        for e in 0..edges {
+            let t = e as f64 / clock.value();
+            let idx = ((t / window_seconds) * n_samples as f64) as usize;
+            edges_per_sample[idx.min(n_samples - 1)] += 1;
+        }
+        Self {
+            edges_per_sample,
+            total_edges: edges,
+        }
+    }
+
+    /// Master-clock edges landing on analogue sample `index`.
+    pub fn edges_at(&self, index: usize) -> u32 {
+        self.edges_per_sample[index]
+    }
+
+    /// Number of analogue grid samples covered.
+    pub fn samples(&self) -> usize {
+        self.edges_per_sample.len()
+    }
+
+    /// Total master-clock edges in the window.
+    pub fn total_edges(&self) -> usize {
+        self.total_edges
+    }
 }
 
 /// The ideal (real-valued) count for a given duty cycle, clock and
@@ -234,6 +316,110 @@ mod tests {
     fn sampling_degenerate_inputs() {
         assert!(sample_at_clock(&[], 1.0, Hertz::new(1e6)).is_empty());
         assert!(sample_at_clock(&[true], 0.0, Hertz::new(1e6)).is_empty());
+    }
+
+    #[test]
+    fn clock_n_equals_repeated_clocks_including_saturation() {
+        for width in [4, 8, 16] {
+            let mut grouped = UpDownCounter::new(width);
+            let mut per_edge = UpDownCounter::new(width);
+            let seq = [
+                (true, 3u32),
+                (true, 40),
+                (false, 2),
+                (false, 500),
+                (true, 7),
+                (false, 1),
+                (true, 0),
+                (true, 100_000),
+            ];
+            for &(up, edges) in &seq {
+                grouped.clock_n(up, edges);
+                for _ in 0..edges {
+                    per_edge.clock(up);
+                }
+                assert_eq!(
+                    grouped.value(),
+                    per_edge.value(),
+                    "width {width} after ({up}, {edges})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clock_n_respects_enable() {
+        let mut c = UpDownCounter::paper_design();
+        c.set_enabled(false);
+        c.clock_n(true, 100);
+        assert_eq!(c.value(), 0);
+        c.set_enabled(true);
+        c.clock_n(true, 100);
+        assert_eq!(c.value(), 100);
+    }
+
+    /// A pseudo-random detector stream counted two ways: per edge through
+    /// `sample_at_clock` + `run`, and grouped through a precomputed
+    /// `ClockSchedule` + `clock_n`. Must agree exactly.
+    #[test]
+    fn schedule_matches_sample_at_clock() {
+        let n = 4096;
+        let detector: Vec<bool> = (0..n)
+            .map(|k| (k as u32).wrapping_mul(2_654_435_761) % 97 < 48)
+            .collect();
+        let window = 8.0 / 8_000.0;
+        let clock = Hertz::new(4_194_304.0);
+
+        let mut reference = UpDownCounter::paper_design();
+        reference.run(sample_at_clock(&detector, window, clock));
+
+        let schedule = ClockSchedule::new(n, window, clock);
+        assert_eq!(schedule.samples(), n);
+        assert_eq!(schedule.total_edges(), (window * clock.value()) as usize);
+        let mut fast = UpDownCounter::paper_design();
+        for (index, &up) in detector.iter().enumerate() {
+            fast.clock_n(up, schedule.edges_at(index));
+        }
+        assert_eq!(fast.value(), reference.value());
+    }
+
+    /// Same comparison with a deliberately narrow counter that rails
+    /// mid-window: grouping must still reproduce the per-edge walk.
+    #[test]
+    fn schedule_matches_under_saturation() {
+        let n = 512;
+        // Long high run (saturates up), then a low tail (walks back down).
+        let detector: Vec<bool> = (0..n).map(|k| k < 400).collect();
+        let window = 4.0 / 8_000.0;
+        let clock = Hertz::new(4_194_304.0);
+        let schedule = ClockSchedule::new(n, window, clock);
+
+        let mut reference = UpDownCounter::new(6);
+        reference.run(sample_at_clock(&detector, window, clock));
+        let mut fast = UpDownCounter::new(6);
+        for (index, &up) in detector.iter().enumerate() {
+            fast.clock_n(up, schedule.edges_at(index));
+        }
+        assert_eq!(fast.value(), reference.value());
+    }
+
+    #[test]
+    fn schedule_degenerate_inputs() {
+        let empty = ClockSchedule::new(0, 1.0, Hertz::new(1e6));
+        assert_eq!(empty.samples(), 0);
+        assert_eq!(empty.total_edges(), 0);
+        let flat = ClockSchedule::new(8, 0.0, Hertz::new(1e6));
+        assert_eq!(flat.samples(), 0);
+        assert_eq!(flat.total_edges(), 0);
+    }
+
+    #[test]
+    fn schedule_distributes_every_edge() {
+        let schedule = ClockSchedule::new(1000, 1e-3, Hertz::new(4_194_304.0));
+        let sum: u64 = (0..schedule.samples())
+            .map(|k| u64::from(schedule.edges_at(k)))
+            .sum();
+        assert_eq!(sum as usize, schedule.total_edges());
     }
 
     #[test]

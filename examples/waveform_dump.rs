@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = FrontEndConfig::paper_design();
     config.settle_periods = 0;
     config.measure_periods = 2; // two scope periods, like Fig. 4
-    let fe = FrontEnd::new(config);
+    let fe = FrontEnd::new(config)?;
 
     let h_earth = AmperePerMeter::new(Tesla::from_microtesla(15.0).value() / MU_0);
 

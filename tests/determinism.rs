@@ -10,9 +10,9 @@
 //! recorder installed: recording is write-only, so it must not move a
 //! single bit either.
 
-use fluxcomp::compass::evaluate::{repeat_heading, sweep_headings};
+use fluxcomp::compass::evaluate::{repeat_heading, sweep_headings, sweep_headings_traced};
 use fluxcomp::compass::tilt::{worst_tilt_error, Attitude};
-use fluxcomp::compass::{AccuracyStats, CompassConfig, CompassDesign};
+use fluxcomp::compass::{AccuracyStats, CompassConfig, CompassDesign, MeasureScratch};
 use fluxcomp::exec::ExecPolicy;
 use fluxcomp::fluxgate::earth::{EarthField, Location};
 use fluxcomp::msim::montecarlo::{run_monte_carlo, Tolerance};
@@ -140,6 +140,53 @@ fn monte_carlo_is_bit_identical_at_any_worker_count() {
         assert_eq!(
             got.quantile(0.9).to_bits(),
             reference.quantile(0.9).to_bits()
+        );
+    }
+}
+
+#[test]
+fn fast_path_matches_traced_path_bitwise() {
+    // The duty-only fast path and the full-waveform diagnostic tier are
+    // the same computation: every statistic of a sweep must agree bit
+    // for bit, serial and parallel.
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
+    let reference = sweep_headings_traced(&design, 24, &ExecPolicy::serial());
+    for policy in [ExecPolicy::serial(), ExecPolicy::with_threads(2)] {
+        let fast = sweep_headings(&design, 24, &policy);
+        assert_stats_bitwise(
+            &fast,
+            &reference,
+            &format!("fast vs traced with {} threads", policy.threads()),
+        );
+    }
+}
+
+#[test]
+fn reused_scratch_is_bit_identical_across_100_fixes() {
+    // One worker's MeasureScratch carried across 100 fixes (with noise,
+    // so the detector and counter really churn) must reproduce the
+    // fresh-state entry point on every single fix.
+    let mut cfg = CompassConfig::paper_design();
+    cfg.frontend.pickup_noise_rms = 2e-3;
+    let design = CompassDesign::new(cfg).expect("valid design");
+    let base = design.config().frontend.noise_seed;
+    let mut scratch = MeasureScratch::for_design(&design);
+    for k in 0..100u64 {
+        let truth = Degrees::new(k as f64 * 3.6);
+        let seed = fluxcomp::exec::derive_seed(base, k);
+        let reused = design.measure_heading_scratch(truth, seed, &mut scratch);
+        let fresh = design.measure_heading_seeded(truth, seed);
+        assert_eq!(
+            reused.heading.value().to_bits(),
+            fresh.heading.value().to_bits(),
+            "fix {k}: heading differs"
+        );
+        assert_eq!(reused.x.count, fresh.x.count, "fix {k}: x count differs");
+        assert_eq!(reused.y.count, fresh.y.count, "fix {k}: y count differs");
+        assert_eq!(
+            reused.x.duty.to_bits(),
+            fresh.x.duty.to_bits(),
+            "fix {k}: x duty differs"
         );
     }
 }
