@@ -37,6 +37,47 @@ use fluxcomp_msim::time::SimTime;
 use fluxcomp_msim::trace::TraceSet;
 use fluxcomp_units::magnetics::AmperePerMeter;
 use fluxcomp_units::si::{Seconds, Volt};
+use std::error::Error;
+use std::fmt;
+
+/// Why a front-end channel configuration was rejected.
+///
+/// Each variant corresponds to one structural constraint of the readout
+/// chain, so callers that relay the failure over a wire (the serve
+/// layer's typed statuses) or fold it into a larger build error
+/// (`compass::BuildError::BadFrontEnd`) can match on the cause instead
+/// of parsing a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FrontEndError {
+    /// The analogue grid is too coarse to resolve the pulse shape:
+    /// fewer than 16 samples per excitation period.
+    TooFewSamplesPerPeriod {
+        /// The rejected `samples_per_period`.
+        got: usize,
+    },
+    /// `measure_periods == 0` — there would be no measurement window.
+    NoMeasurePeriods,
+    /// The sensor element parameters are invalid.
+    BadSensor {
+        /// The message [`FluxgateParams::check`] rejected them with.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for FrontEndError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontEndError::TooFewSamplesPerPeriod { got } => {
+                write!(f, "need at least 16 samples per period, got {got}")
+            }
+            FrontEndError::NoMeasurePeriods => write!(f, "need at least one measurement period"),
+            FrontEndError::BadSensor { reason } => write!(f, "invalid sensor element: {reason}"),
+        }
+    }
+}
+
+impl Error for FrontEndError {}
 
 /// Configuration of one front-end channel.
 #[derive(Debug, Clone)]
@@ -83,16 +124,20 @@ impl FrontEndConfig {
 
     /// Validates the configuration without constructing a channel.
     ///
-    /// Returns the same message [`FrontEnd::new`] reports, so callers can
-    /// check a configuration before handing it over.
-    pub fn check(&self) -> Result<(), &'static str> {
+    /// Returns the same [`FrontEndError`] [`FrontEnd::new`] reports, so
+    /// callers can check a configuration before handing it over.
+    pub fn check(&self) -> Result<(), FrontEndError> {
         if self.samples_per_period < 16 {
-            return Err("need at least 16 samples per period");
+            return Err(FrontEndError::TooFewSamplesPerPeriod {
+                got: self.samples_per_period,
+            });
         }
         if self.measure_periods == 0 {
-            return Err("need at least one measurement period");
+            return Err(FrontEndError::NoMeasurePeriods);
         }
-        self.sensor.check()
+        self.sensor
+            .check()
+            .map_err(|reason| FrontEndError::BadSensor { reason })
     }
 }
 
@@ -165,10 +210,10 @@ impl FrontEnd {
     ///
     /// # Errors
     ///
-    /// The [`FrontEndConfig::check`] message if `samples_per_period < 16`
+    /// The [`FrontEndConfig::check`] error if `samples_per_period < 16`
     /// or `measure_periods == 0`, or if the sensor parameters are
     /// invalid.
-    pub fn new(config: FrontEndConfig) -> Result<Self, &'static str> {
+    pub fn new(config: FrontEndConfig) -> Result<Self, FrontEndError> {
         config.check()?;
         let sensor = Fluxgate::new(config.sensor);
         let table = ExcitationTable::build(
@@ -523,19 +568,29 @@ mod tests {
     fn too_few_samples_rejected() {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.samples_per_period = 8;
-        assert_eq!(
-            FrontEnd::new(cfg).unwrap_err(),
-            "need at least 16 samples per period"
-        );
+        let err = FrontEnd::new(cfg).unwrap_err();
+        assert_eq!(err, FrontEndError::TooFewSamplesPerPeriod { got: 8 });
+        assert!(err.to_string().contains("16 samples"));
     }
 
     #[test]
     fn zero_measure_periods_rejected() {
         let mut cfg = FrontEndConfig::paper_design();
         cfg.measure_periods = 0;
+        let err = FrontEnd::new(cfg).unwrap_err();
+        assert_eq!(err, FrontEndError::NoMeasurePeriods);
+        assert!(err.to_string().contains("measurement period"));
+    }
+
+    #[test]
+    fn bad_sensor_reports_the_element_reason() {
+        let mut cfg = FrontEndConfig::paper_design();
+        cfg.sensor.turns_pickup = 0;
         assert_eq!(
             FrontEnd::new(cfg).unwrap_err(),
-            "need at least one measurement period"
+            FrontEndError::BadSensor {
+                reason: "pickup coil needs turns"
+            }
         );
     }
 

@@ -33,7 +33,7 @@
 //! use fluxcomp_afe::frontend::{FrontEnd, FrontEndConfig};
 //! use fluxcomp_units::AmperePerMeter;
 //!
-//! # fn main() -> Result<(), &'static str> {
+//! # fn main() -> Result<(), fluxcomp_afe::frontend::FrontEndError> {
 //! let fe = FrontEnd::new(FrontEndConfig::paper_design())?;
 //! let h_ext = AmperePerMeter::new(12.0); // ≈ 15 µT
 //! let result = fe.measure(h_ext); // duty-only fast path, no traces
@@ -61,7 +61,7 @@ pub mod vi_converter;
 pub use comparator::Comparator;
 pub use detector::{DetectorConfig, PulsePositionDetector};
 pub use excitation::{DriveSample, ExcitationTable};
-pub use frontend::{FrontEnd, FrontEndConfig, FrontEndResult, MeasureResult};
+pub use frontend::{FrontEnd, FrontEndConfig, FrontEndError, FrontEndResult, MeasureResult};
 pub use mux::AnalogMux;
 pub use oscillator::{OffsetCorrection, RelaxationOscillator, TriangleWave};
 pub use power::{BlockCurrents, PowerModel, Schedule};

@@ -1,0 +1,242 @@
+//! E12 — the compass fix server under load.
+//!
+//! Server and load generator run in-process over a real localhost TCP
+//! socket. The contract comes first: a fix served over the wire —
+//! cached or freshly computed — must be **bit-identical** to a direct
+//! `CompassDesign` measurement with the same seed. Then two load
+//! profiles are measured: a cache-friendly mix (few unique fixes, the
+//! stationary-platform case) and a cache-defeating mix (every fix
+//! unique), each reporting throughput and p50/p95/p99 latency into
+//! `BENCH_serve.json`.
+
+use criterion::{criterion_group, Criterion};
+use fluxcomp_bench::{banner, write_bench_json};
+use fluxcomp_compass::{CompassConfig, CompassDesign, MeasureScratch};
+use fluxcomp_serve::protocol::{
+    read_frame, write_request, FieldSpec, FixRequest, FixResponse, ReadFrame, Status,
+};
+use fluxcomp_serve::{loadgen, FixServer, LoadGenConfig, ServeConfig};
+use std::hint::black_box;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn request_fix(stream: &mut TcpStream, request: &FixRequest) -> FixResponse {
+    write_request(stream, request).expect("send request");
+    let mut buf = Vec::new();
+    match read_frame(stream, &mut buf).expect("read response") {
+        ReadFrame::Frame(len) => FixResponse::decode_payload(&buf[..len]).expect("decode response"),
+        ReadFrame::Eof => panic!("server hung up"),
+    }
+}
+
+/// The acceptance gate: cached and uncached served fixes, heading-truth
+/// and field-vector, all bit-identical to direct measurement.
+fn assert_bit_identity(server: &FixServer) -> bool {
+    let design = server.design();
+    let mut scratch = MeasureScratch::for_design(design);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut checked = 0u32;
+    for (i, truth) in [0.0f64, 77.5, 123.0, 251.25, 359.0].into_iter().enumerate() {
+        let seed = 0xE12 + i as u64;
+        let direct =
+            design.measure_heading_scratch(fluxcomp_units::Degrees::new(truth), seed, &mut scratch);
+        let request = FixRequest {
+            id: i as u64,
+            seed,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::HeadingTruth(truth),
+        };
+        // Uncached (first contact), then cached — same bits both times.
+        for expect_hit in [false, true] {
+            let response = request_fix(&mut stream, &request);
+            assert_eq!(response.status, Status::Ok);
+            assert_eq!(response.cache_hit, expect_hit);
+            assert_eq!(response.heading.to_bits(), direct.heading.value().to_bits());
+            assert_eq!(response.duty_x.to_bits(), direct.x.duty.to_bits());
+            assert_eq!(response.duty_y.to_bits(), direct.y.duty.to_bits());
+            assert_eq!(response.count_x, direct.x.count);
+            assert_eq!(response.count_y, direct.y.count);
+            checked += 1;
+        }
+        // Field-vector form of the same fix, cache bypassed.
+        let (hx, hy) = design.axial_fields(fluxcomp_units::Degrees::new(truth));
+        let direct_vec = design.measure_field_scratch(hx, hy, seed, &mut scratch);
+        let response = request_fix(
+            &mut stream,
+            &FixRequest {
+                id: 100 + i as u64,
+                seed,
+                deadline_ms: 0,
+                no_cache: true,
+                field: FieldSpec::FieldVector {
+                    hx: hx.value(),
+                    hy: hy.value(),
+                },
+            },
+        );
+        assert_eq!(response.status, Status::Ok);
+        assert!(!response.cache_hit);
+        assert_eq!(
+            response.heading.to_bits(),
+            direct_vec.heading.value().to_bits()
+        );
+        checked += 1;
+    }
+    checked == 15
+}
+
+fn run_load(
+    server: &FixServer,
+    requests: usize,
+    unique_fixes: usize,
+    no_cache: bool,
+) -> loadgen::LoadReport {
+    loadgen::run(&LoadGenConfig {
+        addr: server.local_addr().to_string(),
+        requests,
+        connections: 4,
+        unique_fixes,
+        no_cache,
+        base_seed: 0xE12,
+        ..LoadGenConfig::default()
+    })
+    .expect("loadgen run")
+}
+
+fn print_experiment() -> std::io::Result<()> {
+    banner(
+        "E12",
+        "fix server under load: batching, fix cache, tail latency",
+        "serving layer: many clients sharing one measurement core",
+    );
+
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
+    // Queue sized above the largest closed-throttle burst below: this
+    // experiment measures throughput and tail latency, not load
+    // shedding (the overload path has its own integration tests).
+    let mut server = FixServer::start(
+        design,
+        ServeConfig {
+            queue_capacity: 4096,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    eprintln!("  server on {} (in-process)", server.local_addr());
+
+    let bit_identical = assert_bit_identity(&server);
+    eprintln!("  wire fixes vs direct measurement (cached + uncached + vector): bit-identical ✓");
+
+    // Cache-friendly: 16 unique fixes cycled — the stationary platform
+    // polled by a fleet of clients.
+    let cached = run_load(&server, 2000, 16, false);
+    assert_eq!(cached.ok, cached.sent, "every cached-mix fix must succeed");
+    assert_eq!(cached.protocol_errors, 0);
+    // Cache-defeating: every fix unique, measured fresh.
+    let uncached = run_load(&server, 600, 600, true);
+    assert_eq!(
+        uncached.ok, uncached.sent,
+        "every uncached fix must succeed"
+    );
+    assert_eq!(uncached.protocol_errors, 0);
+
+    for (name, r) in [("cache-friendly", &cached), ("uncached", &uncached)] {
+        eprintln!(
+            "  {name:<15}: {:>8.0} fixes/s | hits {:>5.1} % | p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms",
+            r.fixes_per_s,
+            100.0 * r.cache_hits as f64 / r.completed.max(1) as f64,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+        );
+    }
+
+    let path = write_bench_json(
+        "BENCH_serve.json",
+        "e12_serve",
+        &[
+            ("bit_identical", f64::from(u8::from(bit_identical))),
+            ("requests_cached_mix", cached.sent as f64),
+            ("fixes_per_s_cached", cached.fixes_per_s),
+            (
+                "cache_hit_rate",
+                cached.cache_hits as f64 / cached.completed.max(1) as f64,
+            ),
+            ("p50_ms_cached", cached.p50_ms),
+            ("p95_ms_cached", cached.p95_ms),
+            ("p99_ms_cached", cached.p99_ms),
+            ("requests_uncached", uncached.sent as f64),
+            ("fixes_per_s_uncached", uncached.fixes_per_s),
+            ("p50_ms_uncached", uncached.p50_ms),
+            ("p95_ms_uncached", uncached.p95_ms),
+            ("p99_ms_uncached", uncached.p99_ms),
+            (
+                "overloaded",
+                (cached.overloaded + uncached.overloaded) as f64,
+            ),
+            (
+                "deadline_exceeded",
+                (cached.deadline_exceeded + uncached.deadline_exceeded) as f64,
+            ),
+            (
+                "errors",
+                (cached.protocol_errors + uncached.protocol_errors) as f64,
+            ),
+        ],
+    )?;
+    eprintln!("  -> {}", path.display());
+    server.shutdown();
+    Ok(())
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment().expect("bench artefact written");
+
+    let design = CompassDesign::new(CompassConfig::paper_design()).expect("valid design");
+    let mut server = FixServer::start(design, ServeConfig::default()).expect("start server");
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+
+    let mut group = c.benchmark_group("e12_serve");
+    group.sample_size(20);
+    // One round trip of a cached fix: protocol + queue + cache lookup.
+    let cached_request = FixRequest {
+        id: 0,
+        seed: 1,
+        deadline_ms: 0,
+        no_cache: false,
+        field: FieldSpec::HeadingTruth(45.0),
+    };
+    request_fix(&mut stream, &cached_request); // warm the cache
+    group.bench_function("round_trip_cached", |b| {
+        b.iter(|| black_box(request_fix(&mut stream, black_box(&cached_request))))
+    });
+    // One round trip that computes a fresh fix every time.
+    let mut seed = 1000u64;
+    group.bench_function("round_trip_uncached", |b| {
+        b.iter(|| {
+            seed += 1;
+            let request = FixRequest {
+                id: seed,
+                seed,
+                deadline_ms: 0,
+                no_cache: true,
+                field: FieldSpec::HeadingTruth(45.0),
+            };
+            black_box(request_fix(&mut stream, black_box(&request)))
+        })
+    });
+    group.finish();
+    drop(stream);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+fluxcomp_bench::bench_main!(benches);

@@ -1,6 +1,6 @@
 //! System configuration and construction errors.
 
-use fluxcomp_afe::frontend::FrontEndConfig;
+use fluxcomp_afe::frontend::{FrontEndConfig, FrontEndError};
 use fluxcomp_fluxgate::earth::{EarthField, Location};
 use fluxcomp_fluxgate::pair::SensorPairParams;
 use fluxcomp_rtl::clock::ClockTree;
@@ -108,8 +108,10 @@ pub enum BuildError {
     /// The front-end channel configuration (including the sensor element
     /// substituted from the pair) is invalid.
     BadFrontEnd {
-        /// What the front-end constructor would have panicked with.
-        reason: &'static str,
+        /// The typed cause from [`FrontEndConfig::check`], so callers —
+        /// the serve layer's wire statuses in particular — can match on
+        /// the structural constraint that failed instead of a message.
+        reason: FrontEndError,
     },
     /// The sensor-pair parameters are invalid.
     BadSensorPair {
@@ -134,7 +136,14 @@ impl fmt::Display for BuildError {
     }
 }
 
-impl Error for BuildError {}
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::BadFrontEnd { reason } => Some(reason),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -166,9 +175,11 @@ mod tests {
         };
         assert!(e.to_string().contains("4194304") || e.to_string().contains("4000000"));
         let e = BuildError::BadFrontEnd {
-            reason: "need at least 16 samples per period",
+            reason: FrontEndError::TooFewSamplesPerPeriod { got: 8 },
         };
         assert!(e.to_string().contains("16 samples"));
+        // The typed cause is reachable through the error chain.
+        assert!(Error::source(&e).is_some());
         let e = BuildError::BadSensorPair {
             reason: "gain mismatch must be positive and finite",
         };
@@ -188,7 +199,9 @@ mod tests {
         assert_eq!(
             cfg.validate(),
             Err(BuildError::BadFrontEnd {
-                reason: "pickup coil needs turns"
+                reason: FrontEndError::BadSensor {
+                    reason: "pickup coil needs turns"
+                }
             })
         );
     }
@@ -212,7 +225,7 @@ mod tests {
         assert_eq!(
             cfg.validate(),
             Err(BuildError::BadFrontEnd {
-                reason: "need at least one measurement period"
+                reason: FrontEndError::NoMeasurePeriods
             })
         );
     }

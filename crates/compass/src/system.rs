@@ -187,6 +187,22 @@ impl CompassDesign {
         let h_ext = self
             .pair
             .axial_field(axis, &self.config.field, true_heading);
+        self.measure_axis_field_scratch(axis, h_ext, noise_seed, scratch)
+    }
+
+    /// The fast path from an **explicit axial field** instead of a true
+    /// heading: what a networked client that already knows the field at
+    /// its own sensor sends to the fix service. Identical fusion of
+    /// excitation→detector→counter as
+    /// [`measure_axis_scratch`](Self::measure_axis_scratch), which is a
+    /// thin wrapper projecting the configured earth field first.
+    pub fn measure_axis_field_scratch(
+        &self,
+        axis: Axis,
+        h_ext: AmperePerMeter,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+    ) -> AxisMeasurement {
         // One span covers the fused excitation→detector→counter pass;
         // the traced tier keeps the three per-stage spans.
         let _excitation = fluxcomp_obs::span("compass.stage.excitation");
@@ -272,6 +288,26 @@ impl CompassDesign {
         self.fold_heading(x, y)
     }
 
+    /// One full fix from an explicit field vector `(hx, hy)` — the two
+    /// axial field components in A/m — through a caller-owned scratch.
+    ///
+    /// This is the serve layer's field-vector request path: the client
+    /// ships the field its platform sees and the design measures both
+    /// axes plus the CORDIC fold exactly as
+    /// [`measure_heading_scratch`](Self::measure_heading_scratch) would
+    /// for a heading whose projection equals that vector.
+    pub fn measure_field_scratch(
+        &self,
+        hx: AmperePerMeter,
+        hy: AmperePerMeter,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+    ) -> Reading {
+        let x = self.measure_axis_field_scratch(Axis::X, hx, noise_seed, scratch);
+        let y = self.measure_axis_field_scratch(Axis::Y, hy, noise_seed, scratch);
+        self.fold_heading(x, y)
+    }
+
     /// One full fix on the diagnostic (traced) tier — both axes via
     /// [`measure_axis_traced`](Self::measure_axis_traced).
     pub fn measure_heading_traced(&self, true_heading: Degrees, noise_seed: u64) -> Reading {
@@ -297,6 +333,16 @@ impl CompassDesign {
             y,
             cordic_cycles: cycles,
         }
+    }
+
+    /// The axial field components `(hx, hy)` the sensor pair sees with
+    /// the platform at `true_heading` in the configured earth field —
+    /// the field vector a [`measure_field_scratch`](Self::measure_field_scratch)
+    /// call must receive to reproduce
+    /// [`measure_heading_scratch`](Self::measure_heading_scratch) bit
+    /// for bit.
+    pub fn axial_fields(&self, true_heading: Degrees) -> (AmperePerMeter, AmperePerMeter) {
+        self.pair.axial_fields(&self.config.field, true_heading)
     }
 
     /// The floating-point reference heading for the current field and a
@@ -496,6 +542,33 @@ mod tests {
             );
             assert_eq!(reused.x.count, fresh.x.count);
             assert_eq!(reused.y.count, fresh.y.count);
+        }
+    }
+
+    #[test]
+    fn field_vector_fix_matches_heading_fix_bitwise() {
+        // A fix from the explicit field vector the pair would project is
+        // the same computation as a fix from the heading itself.
+        let design = CompassDesign::new(CompassConfig::paper_design()).unwrap();
+        let seed = design.config().frontend.noise_seed;
+        let mut scratch = MeasureScratch::for_design(&design);
+        for deg in [0.0, 33.0, 123.0, 287.25, 359.0] {
+            let truth = Degrees::new(deg);
+            let (hx, hy) = design.axial_fields(truth);
+            let from_field = design.measure_field_scratch(hx, hy, seed, &mut scratch);
+            let from_heading = design.measure_heading_scratch(truth, seed, &mut scratch);
+            assert_eq!(
+                from_field.heading.value().to_bits(),
+                from_heading.heading.value().to_bits(),
+                "at {deg}"
+            );
+            assert_eq!(from_field.x.count, from_heading.x.count);
+            assert_eq!(from_field.y.count, from_heading.y.count);
+            assert_eq!(
+                from_field.x.duty.to_bits(),
+                from_heading.x.duty.to_bits(),
+                "at {deg}"
+            );
         }
     }
 

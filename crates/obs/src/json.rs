@@ -227,9 +227,12 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
+                            // `from_str_radix` alone would accept a `+`
+                            // sign, so check the digits explicitly.
                             let hex = self
                                 .bytes
                                 .get(self.pos..self.pos + 4)
+                                .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
@@ -294,9 +297,15 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // `f64::from_str` never fails on grammatically valid input — it
+        // saturates to ±∞ instead — so the overflow check must be
+        // explicit: a strict reader should not manufacture non-finite
+        // values JSON cannot express.
         text.parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
             .map(Value::Number)
-            .map_err(|_| self.err("number out of range"))
+            .ok_or_else(|| self.err("number out of range"))
     }
 }
 
@@ -362,9 +371,18 @@ mod tests {
             "nan",
             "{}{}",
             "{\"a\":1,\"a\":2}",
+            // A signed \u escape sneaks through bare from_str_radix.
+            "\"\\u+041\"",
+            // Grammatically valid numbers that overflow f64: a strict
+            // reader must not saturate them to infinity.
+            "1e999",
+            "-1e999",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+        // The boundary itself is fine.
+        assert_eq!(parse("1e308").unwrap(), Value::Number(1e308));
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
     }
 
     #[test]

@@ -422,6 +422,103 @@ mod tests {
         assert_eq!(sum as usize, schedule.total_edges());
     }
 
+    /// The widest legal counter has exactly the i32 range: +2³¹−1 down
+    /// to −2³¹. `u32::MAX` edges in one `clock_n` call must land on the
+    /// rails without any intermediate overflow.
+    #[test]
+    fn clock_n_at_the_i32_boundary_with_u32_max_edges() {
+        let mut c = UpDownCounter::new(32);
+        assert_eq!(c.max_value(), i64::from(i32::MAX));
+
+        c.clock_n(true, u32::MAX);
+        assert_eq!(c.value(), i64::from(i32::MAX), "rails high");
+        c.clock_n(true, u32::MAX);
+        assert_eq!(c.value(), i64::from(i32::MAX), "stays railed");
+
+        // From +2³¹−1, exactly 2³²−1 down edges lands *precisely* on
+        // −2³¹ — the boundary is reached, not clipped past.
+        c.clock_n(false, u32::MAX);
+        assert_eq!(c.value(), i64::from(i32::MIN), "rails low exactly");
+        c.clock_n(false, 1);
+        assert_eq!(c.value(), i64::from(i32::MIN), "stays railed low");
+
+        // And the symmetric climb back up is exact too.
+        c.clock_n(true, u32::MAX);
+        assert_eq!(c.value(), i64::from(i32::MAX));
+    }
+
+    /// One edge short of the rail, then single edges across it: the
+    /// closed form and the per-edge walk agree at the boundary itself.
+    #[test]
+    fn clock_n_single_edges_across_the_positive_rail() {
+        let mut c = UpDownCounter::new(32);
+        c.clock_n(true, i32::MAX as u32 - 1);
+        assert_eq!(c.value(), i64::from(i32::MAX) - 1);
+        c.clock(true);
+        assert_eq!(c.value(), i64::from(i32::MAX));
+        c.clock(true);
+        assert_eq!(c.value(), i64::from(i32::MAX), "per-edge clock clamps too");
+        c.clock_n(false, 1);
+        assert_eq!(c.value(), i64::from(i32::MAX) - 1);
+    }
+
+    /// A window so short no clock edge fits: the schedule still covers
+    /// every sample, each with zero edges, and replaying it is a no-op.
+    #[test]
+    fn schedule_with_zero_edge_window() {
+        let clock = Hertz::new(4_194_304.0);
+        // Well under one clock period.
+        let schedule = ClockSchedule::new(16, 1e-8, clock);
+        assert_eq!(schedule.samples(), 16);
+        assert_eq!(schedule.total_edges(), 0);
+        let mut c = UpDownCounter::paper_design();
+        for index in 0..schedule.samples() {
+            assert_eq!(schedule.edges_at(index), 0);
+            c.clock_n(true, schedule.edges_at(index));
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    /// Fewer edges than samples: the zero-order hold leaves gaps (some
+    /// samples take no edge), and grouped replay still matches the
+    /// per-edge reference exactly.
+    #[test]
+    fn schedule_with_sparse_edges_matches_reference() {
+        let n = 1000;
+        let window = 1e-4;
+        let clock = Hertz::new(1_000_000.0); // 100 edges over 1000 samples
+        let schedule = ClockSchedule::new(n, window, clock);
+        assert_eq!(schedule.total_edges(), 100);
+        assert!((0..n).any(|k| schedule.edges_at(k) == 0), "gaps expected");
+        let detector: Vec<bool> = (0..n).map(|k| k % 3 == 0).collect();
+        let mut reference = UpDownCounter::paper_design();
+        reference.run(sample_at_clock(&detector, window, clock));
+        let mut fast = UpDownCounter::paper_design();
+        for (index, &up) in detector.iter().enumerate() {
+            fast.clock_n(up, schedule.edges_at(index));
+        }
+        assert_eq!(fast.value(), reference.value());
+    }
+
+    /// A single-sample schedule funnels the whole window's edges into
+    /// one `clock_n` call — which must rail a narrow counter exactly
+    /// like the edge-at-a-time walk.
+    #[test]
+    fn schedule_single_sample_saturates_like_per_edge() {
+        let window = 1.0 / 8_000.0;
+        let clock = Hertz::new(4_194_304.0);
+        let schedule = ClockSchedule::new(1, window, clock);
+        assert_eq!(schedule.samples(), 1);
+        assert_eq!(schedule.edges_at(0) as usize, schedule.total_edges());
+        assert!(schedule.total_edges() > 127, "enough edges to rail 8 bits");
+        let mut grouped = UpDownCounter::new(8);
+        grouped.clock_n(true, schedule.edges_at(0));
+        let mut per_edge = UpDownCounter::new(8);
+        per_edge.run(sample_at_clock(&[true], window, clock));
+        assert_eq!(grouped.value(), per_edge.value());
+        assert_eq!(grouped.value(), 127);
+    }
+
     #[test]
     #[should_panic(expected = "width")]
     fn bad_width_rejected() {

@@ -1,0 +1,91 @@
+//! Drives load against a running fix server and prints a latency
+//! report.
+//!
+//! ```text
+//! cargo run --release -p fluxcomp-serve --example loadgen -- ADDR \
+//!     [--requests N] [--rate HZ] [--connections C] [--deadline-ms MS] \
+//!     [--unique U] [--no-cache] [--field-vector]
+//! ```
+//!
+//! Exits nonzero when no request completed or any protocol error (a
+//! malformed or unmatched response, a dropped request) occurred — the
+//! CI smoke test relies on that.
+
+use fluxcomp_serve::loadgen;
+use fluxcomp_serve::LoadGenConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen ADDR [--requests N] [--rate HZ] [--connections C] \
+         [--deadline-ms MS] [--unique U] [--no-cache] [--field-vector]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else { usage() };
+    let mut config = LoadGenConfig {
+        addr,
+        ..LoadGenConfig::default()
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--requests" => {
+                config.requests = value("--requests").parse().unwrap_or_else(|_| usage())
+            }
+            "--rate" => config.rate_hz = value("--rate").parse().unwrap_or_else(|_| usage()),
+            "--connections" => {
+                config.connections = value("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                config.deadline_ms = value("--deadline-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--unique" => {
+                config.unique_fixes = value("--unique").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-cache" => config.no_cache = true,
+            "--field-vector" => config.field_vector = true,
+            _ => usage(),
+        }
+    }
+
+    let report = match loadgen::run(&config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("loadgen: connect to {} failed: {error}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "sent {} | completed {} | ok {} (cache hits {}) | overloaded {} | \
+         deadline-exceeded {} | shutting-down {} | protocol errors {} | lost {}",
+        report.sent,
+        report.completed,
+        report.ok,
+        report.cache_hits,
+        report.overloaded,
+        report.deadline_exceeded,
+        report.shutting_down,
+        report.protocol_errors,
+        report.lost,
+    );
+    println!(
+        "elapsed {:.3} s | {:.0} fixes/s | latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        report.elapsed.as_secs_f64(),
+        report.fixes_per_s,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+    );
+    if report.completed == 0 || report.protocol_errors > 0 || report.lost > 0 {
+        eprintln!("loadgen: FAILED (no completions, protocol errors, or lost requests)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,369 @@
+//! The sharded LRU fix cache.
+//!
+//! A compass fix is a pure function of `(field, seed)` for a given
+//! design, so identical requests — the common case for a stationary
+//! platform polled by many clients — can be deduplicated: the first
+//! request computes the fix, every later one is a hash lookup. Keys
+//! compare the *bit patterns* of the request floats, matching the
+//! bit-exactness contract of the measurement core (`-0.0` and `0.0` are
+//! different keys; that is deliberate — they are different inputs to the
+//! physics, even if they usually produce the same fix).
+//!
+//! The cache is sharded to keep lock hold times short under a worker
+//! pool: each shard is an independent `Mutex` around a classic
+//! `HashMap` + intrusive-list LRU with O(1) get/insert/evict. The shard
+//! index is a hash of the key, so concurrent workers touching different
+//! fixes rarely contend.
+
+use crate::protocol::{FieldSpec, FixRequest};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Cache key: the fix-relevant request bits, with floats by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixKey {
+    kind: u8,
+    a: u64,
+    b: u64,
+    seed: u64,
+}
+
+impl FixKey {
+    /// The key for a request (its id, deadline and cache flag do not
+    /// affect the fix and are excluded).
+    pub fn for_request(request: &FixRequest) -> Self {
+        match request.field {
+            FieldSpec::HeadingTruth(deg) => Self {
+                kind: 0,
+                a: deg.to_bits(),
+                b: 0,
+                seed: request.seed,
+            },
+            FieldSpec::FieldVector { hx, hy } => Self {
+                kind: 1,
+                a: hx.to_bits(),
+                b: hy.to_bits(),
+                seed: request.seed,
+            },
+        }
+    }
+
+    /// A well-mixed 64-bit hash (splitmix64 over the fields) used for
+    /// shard selection, independent of the `HashMap` hasher.
+    fn shard_hash(&self) -> u64 {
+        let mut h = self.a ^ self.b.rotate_left(23) ^ self.seed.rotate_left(47) ^ self.kind as u64;
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+        h ^ (h >> 31)
+    }
+}
+
+/// The cached outcome of one fix — everything a response needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedFix {
+    /// Heading in degrees.
+    pub heading: f64,
+    /// X-axis duty cycle.
+    pub duty_x: f64,
+    /// Y-axis duty cycle.
+    pub duty_y: f64,
+    /// X-axis counter output.
+    pub count_x: i64,
+    /// Y-axis counter output.
+    pub count_y: i64,
+    /// The V-I converter clipped on at least one axis.
+    pub clipped: bool,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    key: FixKey,
+    value: CachedFix,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a `HashMap` from key to slab index plus a doubly linked
+/// recency list threaded through the slab (head = most recent).
+#[derive(Debug)]
+struct Shard {
+    map: HashMap<FixKey, usize>,
+    slab: Vec<Node>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: &FixKey) -> Option<CachedFix> {
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(self.slab[idx].value)
+    }
+
+    fn insert(&mut self, key: FixKey, value: CachedFix) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.slab.len() < self.capacity {
+            self.slab.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Full: evict the least recently used entry and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.slab[victim] = Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            victim
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+}
+
+/// The sharded LRU cache. Capacity 0 disables caching entirely (every
+/// `get` misses, every `insert` is a no-op).
+#[derive(Debug)]
+pub struct FixCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl FixCache {
+    /// A cache holding about `capacity` fixes across `shards` shards
+    /// (shard count is rounded up to a power of two; capacity is split
+    /// evenly with each shard holding at least one entry when the cache
+    /// is enabled at all).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        if capacity == 0 {
+            return Self { shards: Vec::new() };
+        }
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+        }
+    }
+
+    fn shard(&self, key: &FixKey) -> Option<&Mutex<Shard>> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let idx = (key.shard_hash() as usize) & (self.shards.len() - 1);
+        Some(&self.shards[idx])
+    }
+
+    /// Looks up a fix, refreshing its recency on a hit.
+    pub fn get(&self, key: &FixKey) -> Option<CachedFix> {
+        self.shard(key)?.lock().unwrap().get(key)
+    }
+
+    /// Inserts (or refreshes) a fix, evicting the shard's LRU entry when
+    /// the shard is full.
+    pub fn insert(&self, key: FixKey, value: CachedFix) {
+        if let Some(shard) = self.shard(&key) {
+            shard.lock().unwrap().insert(key, value);
+        }
+    }
+
+    /// Total entries across all shards (locks each shard briefly).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// `true` when no fixes are cached (or the cache is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> FixKey {
+        FixKey::for_request(&FixRequest {
+            id: 0,
+            seed,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::HeadingTruth(42.0),
+        })
+    }
+
+    fn fix(heading: f64) -> CachedFix {
+        CachedFix {
+            heading,
+            duty_x: 0.5,
+            duty_y: 0.5,
+            count_x: 1,
+            count_y: 2,
+            clipped: false,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = FixCache::new(8, 1);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), fix(10.0));
+        assert_eq!(cache.get(&key(1)), Some(fix(10.0)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = FixCache::new(3, 1);
+        cache.insert(key(1), fix(1.0));
+        cache.insert(key(2), fix(2.0));
+        cache.insert(key(3), fix(3.0));
+        // Touch 1 so 2 becomes the LRU, then overflow.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(4), fix(4.0));
+        assert_eq!(cache.get(&key(2)), None);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert!(cache.get(&key(4)).is_some());
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let cache = FixCache::new(2, 1);
+        cache.insert(key(1), fix(1.0));
+        cache.insert(key(2), fix(2.0));
+        cache.insert(key(1), fix(9.0));
+        cache.insert(key(3), fix(3.0)); // evicts 2, not the refreshed 1
+        assert_eq!(cache.get(&key(1)), Some(fix(9.0)));
+        assert_eq!(cache.get(&key(2)), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn heading_and_vector_keys_are_distinct() {
+        let heading = FixKey::for_request(&FixRequest {
+            id: 0,
+            seed: 7,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::HeadingTruth(1.0),
+        });
+        let vector = FixKey::for_request(&FixRequest {
+            id: 0,
+            seed: 7,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::FieldVector { hx: 1.0, hy: 0.0 },
+        });
+        assert_ne!(heading, vector);
+        // Signed zero is a distinct bit pattern, hence a distinct key.
+        let pos = FixKey::for_request(&FixRequest {
+            id: 0,
+            seed: 7,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::HeadingTruth(0.0),
+        });
+        let neg = FixKey::for_request(&FixRequest {
+            id: 0,
+            seed: 7,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::HeadingTruth(-0.0),
+        });
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn id_deadline_and_cache_flag_do_not_affect_the_key() {
+        let base = FixRequest {
+            id: 1,
+            seed: 7,
+            deadline_ms: 100,
+            no_cache: false,
+            field: FieldSpec::HeadingTruth(1.0),
+        };
+        let other = FixRequest {
+            id: 2,
+            deadline_ms: 5,
+            no_cache: true,
+            ..base
+        };
+        assert_eq!(FixKey::for_request(&base), FixKey::for_request(&other));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = FixCache::new(0, 8);
+        cache.insert(key(1), fix(1.0));
+        assert_eq!(cache.get(&key(1)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_holds_roughly_its_capacity() {
+        let cache = FixCache::new(64, 4);
+        for s in 0..1000 {
+            cache.insert(key(s), fix(s as f64));
+        }
+        // Each of the 4 shards holds ⌈64/4⌉ = 16 entries.
+        assert_eq!(cache.len(), 64);
+        // Recent keys hash across shards; the very last insert must be
+        // present regardless of distribution.
+        assert!(cache.get(&key(999)).is_some());
+    }
+}

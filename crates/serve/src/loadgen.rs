@@ -1,0 +1,363 @@
+//! The open-loop load generator.
+//!
+//! Open-loop means arrivals are scheduled on a wall clock — request `k`
+//! is sent at `start + k / rate` regardless of whether earlier
+//! responses have come back — so a slow server faces a growing backlog
+//! exactly like production traffic, instead of the coordinated-omission
+//! trap of closed-loop "send, wait, send" clients whose measured
+//! latency politely stops rising the moment the server saturates.
+//!
+//! Each connection runs a sender (paced writes) and a receiver thread
+//! (tallies responses, matches request ids to send timestamps for
+//! latency). Percentiles come from [`SortedSamples`] over the `Ok`
+//! response latencies.
+
+use crate::protocol::{
+    read_frame, write_request, FieldSpec, FixRequest, FixResponse, ReadFrame, Status,
+};
+use fluxcomp_exec::{derive_seed, SortedSamples};
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Server address, e.g. `"127.0.0.1:9000"`.
+    pub addr: String,
+    /// Concurrent connections; requests are split round-robin.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Open-loop arrival rate in fixes/s across all connections;
+    /// `0.0` means closed-throttle (send as fast as the sockets take).
+    pub rate_hz: f64,
+    /// Deadline stamped on every request (milliseconds; 0 = none).
+    pub deadline_ms: u32,
+    /// Set the no-cache flag on every request.
+    pub no_cache: bool,
+    /// Send explicit field vectors instead of heading truths.
+    pub field_vector: bool,
+    /// Distinct `(field, seed)` combinations cycled through; `1` sends
+    /// the identical fix every time (maximally cache-friendly), large
+    /// values defeat the cache.
+    pub unique_fixes: usize,
+    /// Base noise seed; per-fix seeds derive from it.
+    pub base_seed: u64,
+    /// How long receivers keep draining after the last send.
+    pub drain_timeout: Duration,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            connections: 4,
+            requests: 1000,
+            rate_hz: 0.0,
+            deadline_ms: 0,
+            no_cache: false,
+            field_vector: false,
+            unique_fixes: 64,
+            base_seed: 0xf1c5,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated results of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests written to the sockets.
+    pub sent: u64,
+    /// Responses received (any status).
+    pub completed: u64,
+    /// `Ok` responses.
+    pub ok: u64,
+    /// `Ok` responses served from the fix cache.
+    pub cache_hits: u64,
+    /// `Overloaded` responses.
+    pub overloaded: u64,
+    /// `DeadlineExceeded` responses.
+    pub deadline_exceeded: u64,
+    /// `ShuttingDown` responses.
+    pub shutting_down: u64,
+    /// Protocol-level failures: `BadRequest`/`InvalidConfig` responses,
+    /// undecodable frames, responses to unknown ids, and socket errors.
+    pub protocol_errors: u64,
+    /// Requests that never got a response within the drain timeout.
+    pub lost: u64,
+    /// Wall-clock duration from first send to last response.
+    pub elapsed: Duration,
+    /// `Ok` responses per second of elapsed time.
+    pub fixes_per_s: f64,
+    /// Median `Ok` latency, milliseconds (0 when nothing succeeded).
+    pub p50_ms: f64,
+    /// 95th-percentile `Ok` latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile `Ok` latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+#[derive(Default)]
+struct ConnTally {
+    sent: u64,
+    completed: u64,
+    ok: u64,
+    cache_hits: u64,
+    overloaded: u64,
+    deadline_exceeded: u64,
+    shutting_down: u64,
+    protocol_errors: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// The fix request for global index `k` under `config`'s mix.
+fn request_for(config: &LoadGenConfig, k: usize) -> FixRequest {
+    let unique = config.unique_fixes.max(1);
+    let slot = k % unique;
+    let heading = 360.0 * slot as f64 / unique as f64;
+    let field = if config.field_vector {
+        // A 12 A/m horizontal field rotated to the slot's heading —
+        // the same magnitude class the paper's 15 µT environment
+        // induces, swept around the circle.
+        let rad = heading.to_radians();
+        FieldSpec::FieldVector {
+            hx: 12.0 * rad.cos(),
+            hy: 12.0 * rad.sin(),
+        }
+    } else {
+        FieldSpec::HeadingTruth(heading)
+    };
+    FixRequest {
+        id: k as u64,
+        seed: derive_seed(config.base_seed, slot as u64),
+        deadline_ms: config.deadline_ms,
+        no_cache: config.no_cache,
+        field,
+    }
+}
+
+/// Runs the configured load against the server and reports.
+///
+/// # Errors
+///
+/// Only connection establishment errors are returned; socket failures
+/// mid-run are tallied as `protocol_errors` in the report.
+pub fn run(config: &LoadGenConfig) -> io::Result<LoadReport> {
+    let connections = config.connections.max(1);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for c in 0..connections {
+        let stream = TcpStream::connect(&config.addr)?;
+        let config = config.clone();
+        handles.push(thread::spawn(move || {
+            connection_run(&config, c, stream, start)
+        }));
+    }
+    let mut total = ConnTally::default();
+    for handle in handles {
+        let tally = handle.join().expect("loadgen connection thread panicked");
+        total.sent += tally.sent;
+        total.completed += tally.completed;
+        total.ok += tally.ok;
+        total.cache_hits += tally.cache_hits;
+        total.overloaded += tally.overloaded;
+        total.deadline_exceeded += tally.deadline_exceeded;
+        total.shutting_down += tally.shutting_down;
+        total.protocol_errors += tally.protocol_errors;
+        total.latencies_ms.extend_from_slice(&tally.latencies_ms);
+    }
+    let elapsed = start.elapsed();
+    let (p50, p95, p99) = if total.latencies_ms.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        let sorted = SortedSamples::new(&total.latencies_ms);
+        (
+            sorted.quantile(0.50),
+            sorted.quantile(0.95),
+            sorted.quantile(0.99),
+        )
+    };
+    Ok(LoadReport {
+        sent: total.sent,
+        completed: total.completed,
+        ok: total.ok,
+        cache_hits: total.cache_hits,
+        overloaded: total.overloaded,
+        deadline_exceeded: total.deadline_exceeded,
+        shutting_down: total.shutting_down,
+        protocol_errors: total.protocol_errors,
+        lost: total.sent.saturating_sub(total.completed),
+        elapsed,
+        fixes_per_s: if elapsed.as_secs_f64() > 0.0 {
+            total.ok as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_ms: p50,
+        p95_ms: p95,
+        p99_ms: p99,
+    })
+}
+
+fn connection_run(
+    config: &LoadGenConfig,
+    conn_index: usize,
+    stream: TcpStream,
+    start: Instant,
+) -> ConnTally {
+    let connections = config.connections.max(1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sent = Arc::new(AtomicUsize::new(0));
+    let sender_done = Arc::new(AtomicBool::new(false));
+
+    let receiver = {
+        let stream = stream.try_clone().expect("clone loadgen socket");
+        let pending = Arc::clone(&pending);
+        let sent = Arc::clone(&sent);
+        let sender_done = Arc::clone(&sender_done);
+        let drain_timeout = config.drain_timeout;
+        thread::spawn(move || receive_loop(stream, &pending, &sent, &sender_done, drain_timeout))
+    };
+
+    let mut writer = stream;
+    let mut send_errors = 0u64;
+    let mut k = conn_index;
+    let mut j = 0usize;
+    while k < config.requests {
+        if config.rate_hz > 0.0 {
+            let due = start + Duration::from_secs_f64(k as f64 / config.rate_hz);
+            let now = Instant::now();
+            if due > now {
+                thread::sleep(due - now);
+            }
+        }
+        let request = request_for(config, k);
+        // Record the pending send *before* the write so a fast response
+        // can never race the bookkeeping.
+        pending.lock().unwrap().insert(request.id, Instant::now());
+        if write_request(&mut writer, &request).is_err() {
+            pending.lock().unwrap().remove(&request.id);
+            send_errors += 1;
+            break;
+        }
+        sent.fetch_add(1, Ordering::SeqCst);
+        j += 1;
+        k = conn_index + j * connections;
+    }
+    sender_done.store(true, Ordering::SeqCst);
+    let mut tally = receiver.join().expect("loadgen receiver thread panicked");
+    tally.sent = sent.load(Ordering::SeqCst) as u64;
+    tally.protocol_errors += send_errors;
+    tally
+}
+
+fn receive_loop(
+    mut stream: TcpStream,
+    pending: &Mutex<HashMap<u64, Instant>>,
+    sent: &AtomicUsize,
+    sender_done: &AtomicBool,
+    drain_timeout: Duration,
+) -> ConnTally {
+    let mut tally = ConnTally::default();
+    let mut buf = Vec::new();
+    let mut drain_start: Option<Instant> = None;
+    loop {
+        let done = sender_done.load(Ordering::SeqCst);
+        if done && tally.completed as usize >= sent.load(Ordering::SeqCst) {
+            break;
+        }
+        if done {
+            let since = drain_start.get_or_insert_with(Instant::now);
+            if since.elapsed() > drain_timeout {
+                break;
+            }
+        }
+        match read_frame(&mut stream, &mut buf) {
+            Ok(ReadFrame::Frame(len)) => match FixResponse::decode_payload(&buf[..len]) {
+                Ok(response) => {
+                    tally.completed += 1;
+                    drain_start = None;
+                    let sent_at = pending.lock().unwrap().remove(&response.id);
+                    match (response.status, sent_at) {
+                        (Status::Ok, Some(at)) => {
+                            tally.ok += 1;
+                            if response.cache_hit {
+                                tally.cache_hits += 1;
+                            }
+                            tally.latencies_ms.push(at.elapsed().as_secs_f64() * 1e3);
+                        }
+                        (Status::Ok, None) => tally.protocol_errors += 1,
+                        (Status::Overloaded, _) => tally.overloaded += 1,
+                        (Status::DeadlineExceeded, _) => tally.deadline_exceeded += 1,
+                        (Status::ShuttingDown, _) => tally.shutting_down += 1,
+                        (_, _) => tally.protocol_errors += 1,
+                    }
+                }
+                Err(_) => {
+                    tally.protocol_errors += 1;
+                    break;
+                }
+            },
+            Ok(ReadFrame::Eof) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                tally.protocol_errors += 1;
+                break;
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mix_cycles_unique_fixes() {
+        let config = LoadGenConfig {
+            unique_fixes: 4,
+            ..LoadGenConfig::default()
+        };
+        let a = request_for(&config, 1);
+        let b = request_for(&config, 5);
+        // Same slot → same field and seed, different id.
+        assert_eq!(a.field, b.field);
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.id, b.id);
+        // Different slot → different fix.
+        let c = request_for(&config, 2);
+        assert_ne!(a.field, c.field);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn field_vector_mix_stays_on_the_12_am_circle() {
+        let config = LoadGenConfig {
+            field_vector: true,
+            unique_fixes: 8,
+            ..LoadGenConfig::default()
+        };
+        for k in 0..8 {
+            match request_for(&config, k).field {
+                FieldSpec::FieldVector { hx, hy } => {
+                    assert!((hx.hypot(hy) - 12.0).abs() < 1e-9);
+                }
+                other => panic!("expected a field vector, got {other:?}"),
+            }
+        }
+    }
+}

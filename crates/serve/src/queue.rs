@@ -1,0 +1,213 @@
+//! A bounded MPMC queue with batch draining — the server's backpressure
+//! point.
+//!
+//! Producers (connection readers) use the non-blocking [`BatchQueue::try_push`]:
+//! a full queue is an immediate [`PushError::Full`], which the reader
+//! turns into a typed `Overloaded` response instead of buffering
+//! unbounded work. Consumers (fix workers) block in
+//! [`BatchQueue::pop_batch`], which drains up to `max` items per wakeup
+//! so a worker amortises its wakeup (and its scratch-state cache
+//! warmth) across a batch under load, while still dispatching single
+//! requests immediately when idle.
+//!
+//! [`BatchQueue::close`] wakes every consumer; `pop_batch` then keeps
+//! returning whatever is left (draining) and signals completion by
+//! returning `false` only once closed **and** empty — the graceful
+//! shutdown contract: accepted work is finished, never dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — the caller should shed the item.
+    Full,
+    /// The queue is closed — the server is shutting down.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded multi-producer multi-consumer batch queue.
+#[derive(Debug)]
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue holding at most `capacity` items (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue rejects the
+    /// item immediately.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until items are available (or the queue closes), then
+    /// moves up to `max` of them into `out`. Returns `false` once the
+    /// queue is closed *and* fully drained — the consumer's signal to
+    /// exit. `out` is cleared first.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        out.clear();
+        let max = max.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.items.is_empty() {
+                while out.len() < max {
+                    match inner.items.pop_front() {
+                        Some(item) => out.push(item),
+                        None => break,
+                    }
+                }
+                if !inner.items.is_empty() {
+                    // Leftovers: wake a sibling consumer.
+                    self.not_empty.notify_one();
+                }
+                return true;
+            }
+            if inner.closed {
+                return false;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// consumers drain what remains and then see `false`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn push_pop_preserves_fifo_order() {
+        let q = BatchQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(q.pop_batch(3, &mut out));
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BatchQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        let mut out = Vec::new();
+        assert!(q.pop_batch(16, &mut out));
+        assert_eq!(out, vec![1, 2]);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BatchQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        let mut out = Vec::new();
+        assert!(q.pop_batch(1, &mut out));
+        assert_eq!(out, vec![1]);
+        assert!(q.pop_batch(1, &mut out));
+        assert_eq!(out, vec![2]);
+        assert!(!q.pop_batch(1, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BatchQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                q.pop_batch(4, &mut out)
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert!(!consumer.join().unwrap());
+    }
+
+    #[test]
+    fn many_producers_one_consumer_sees_everything() {
+        let q = Arc::new(BatchQueue::new(1024));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        loop {
+                            if q.try_push(p * 100 + i).is_ok() {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        while q.pop_batch(7, &mut out) {
+            seen.extend_from_slice(&out);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..400).collect::<Vec<_>>());
+    }
+}

@@ -27,6 +27,8 @@
 //! * [`mcm`] — multi-chip module with boundary scan
 //! * [`compass`] — the integrated system of Fig. 1 (the paper's
 //!   contribution)
+//! * [`serve`] — the fix server: TCP service with batching, fix cache,
+//!   deadlines and a load-generator harness
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use fluxcomp_mcm as mcm;
 pub use fluxcomp_msim as msim;
 pub use fluxcomp_obs as obs;
 pub use fluxcomp_rtl as rtl;
+pub use fluxcomp_serve as serve;
 pub use fluxcomp_sog as sog;
 pub use fluxcomp_units as units;
 
