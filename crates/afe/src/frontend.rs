@@ -435,6 +435,113 @@ impl FrontEnd {
             measure_samples,
         }
     }
+
+    /// [`measure_into`](Self::measure_into) under injected faults.
+    ///
+    /// When `faults` [is none](fluxcomp_faults::FixFaults::is_none) this
+    /// **delegates** to the plain fast path — the no-fault bitstream is
+    /// untouched by construction, not by tolerance. When faults are
+    /// active, the same sample loop runs with the fault effects applied
+    /// in physical order:
+    ///
+    /// 1. excitation dropout zeroes the drive field over its window;
+    /// 2. the H_K drift ramp adds a linearly growing field offset;
+    /// 3. an open pickup scales the EMF by its residual gain;
+    /// 4. the nominal noise stream is added (always stepped, in the
+    ///    same order as the clean path, so a fault never perturbs any
+    ///    *other* fix's draw sequence);
+    /// 5. a noise burst adds draws from its own derived stream over its
+    ///    window;
+    /// 6. a stuck comparator overrides the detector output (the
+    ///    detector is still stepped — its internal state evolves as the
+    ///    real damaged circuit's would).
+    ///
+    /// Window fractions cover the full settle+measure run.
+    pub fn measure_into_faulted(
+        &self,
+        h_ext: AmperePerMeter,
+        noise_seed: u64,
+        detector: &mut PulsePositionDetector,
+        faults: &fluxcomp_faults::FixFaults,
+        mut on_sample: impl FnMut(usize, bool),
+    ) -> MeasureResult {
+        if faults.is_none() {
+            return self.measure_into(h_ext, noise_seed, detector, on_sample);
+        }
+        let _run = fluxcomp_obs::span("faults.measure");
+        let cfg = &self.config;
+        debug_assert_eq!(
+            detector.config(),
+            &cfg.detector,
+            "scratch detector configured for a different channel"
+        );
+        detector.reset();
+        let mut noise = GaussianNoise::new(cfg.pickup_noise_rms, noise_seed);
+        let mut burst_noise = faults.burst.map(|b| GaussianNoise::new(b.rms, b.seed));
+        let total_samples =
+            ((cfg.settle_periods + cfg.measure_periods) * cfg.samples_per_period) as f64;
+        let inv_total = 1.0 / total_samples;
+        let mut pulse_edges = 0u64;
+        let mut prev_out = false;
+        let mut high_samples = 0u64;
+        let mut index = 0usize;
+        let mut global = 0usize;
+
+        for period in 0..cfg.settle_periods + cfg.measure_periods {
+            let measuring = period >= cfg.settle_periods;
+            for drive in self.table.samples() {
+                let frac = global as f64 * inv_total;
+                global += 1;
+                let dropped = faults
+                    .dropout
+                    .is_some_and(|(from, until)| frac >= from && frac < until);
+                let (h_drive, dh_dt) = if dropped {
+                    (AmperePerMeter::ZERO, 0.0)
+                } else {
+                    (drive.h_drive, drive.dh_dt)
+                };
+                let h = h_drive + h_ext + AmperePerMeter::new(faults.hk_ramp * frac);
+                let mut v_pickup = self.sensor.pickup_emf(h, dh_dt);
+                if faults.pickup_gain != 1.0 {
+                    v_pickup = Volt::new(v_pickup.value() * faults.pickup_gain);
+                }
+                v_pickup += Volt::new(noise.sample());
+                if let (Some(burst), Some(stream)) = (faults.burst, burst_noise.as_mut()) {
+                    if frac >= burst.from && frac < burst.until {
+                        v_pickup += Volt::new(stream.sample());
+                    }
+                }
+                let mut out = detector.step(v_pickup);
+                if let Some(stuck) = faults.stuck_output {
+                    out = stuck;
+                }
+                pulse_edges += u64::from(out != prev_out);
+                prev_out = out;
+                if measuring {
+                    high_samples += u64::from(out);
+                    on_sample(index, out);
+                    index += 1;
+                }
+            }
+        }
+
+        let measure_samples = index as u64;
+        let duty = high_samples as f64 / measure_samples as f64;
+        let clipped = self.table.any_clips();
+        fluxcomp_obs::counter_add("msim.analog_steps", global as u64);
+        fluxcomp_obs::counter_add("afe.measures", 1);
+        fluxcomp_obs::counter_add("faults.faulted_measures", 1);
+        fluxcomp_obs::counter_add("afe.pulse_edges", pulse_edges);
+        fluxcomp_obs::counter_add("afe.clipped_runs", u64::from(clipped));
+        fluxcomp_obs::histogram_record("afe.duty", duty);
+        MeasureResult {
+            duty,
+            clipped,
+            pulse_edges,
+            high_samples,
+            measure_samples,
+        }
+    }
 }
 
 impl Default for FrontEnd {
@@ -673,5 +780,80 @@ mod tests {
         let traced = fe.run(h).field_estimate(fe.peak_excitation_field());
         let fast = fe.measure(h).field_estimate(fe.peak_excitation_field());
         assert_eq!(traced.value().to_bits(), fast.value().to_bits());
+    }
+
+    #[test]
+    fn faulted_path_with_no_faults_is_bit_identical_to_fast_path() {
+        let fe = FrontEnd::default();
+        let none = fluxcomp_faults::FixFaults::none();
+        for ut in [-20.0, 0.0, 15.0] {
+            let h = h_from_microtesla(ut);
+            for seed in [1u64, 0x5EED] {
+                let mut detector = PulsePositionDetector::new(fe.config().detector);
+                let mut clean_samples = Vec::new();
+                let clean = fe.measure_into(h, seed, &mut detector, |_, out| {
+                    clean_samples.push(out);
+                });
+                let mut faulted_samples = Vec::new();
+                let faulted = fe.measure_into_faulted(h, seed, &mut detector, &none, |_, out| {
+                    faulted_samples.push(out);
+                });
+                assert_eq!(clean.duty.to_bits(), faulted.duty.to_bits(), "{ut} µT");
+                assert_eq!(clean, faulted);
+                assert_eq!(clean_samples, faulted_samples);
+            }
+        }
+    }
+
+    #[test]
+    fn open_pickup_collapses_duty_and_edges() {
+        let fe = FrontEnd::default();
+        let mut faults = fluxcomp_faults::FixFaults::none();
+        faults.pickup_gain = fluxcomp_faults::OPEN_PICKUP_GAIN;
+        faults.injected = 1;
+        let mut detector = PulsePositionDetector::new(fe.config().detector);
+        let h = h_from_microtesla(15.0);
+        let r = fe.measure_into_faulted(h, 1, &mut detector, &faults, |_, _| {});
+        // µV-scale EMF never crosses the comparator threshold: the
+        // detector output is flat and the duty is pinned at an
+        // implausible extreme (0 or 1 depending on idle polarity).
+        assert_eq!(r.pulse_edges, 0, "open pickup must kill every pulse edge");
+        assert!(r.duty == 0.0 || r.duty == 1.0, "duty {} not pinned", r.duty);
+    }
+
+    #[test]
+    fn stuck_comparator_pins_duty_and_is_deterministic() {
+        let fe = FrontEnd::default();
+        let mut faults = fluxcomp_faults::FixFaults::none();
+        faults.stuck_output = Some(true);
+        faults.injected = 1;
+        let mut detector = PulsePositionDetector::new(fe.config().detector);
+        let h = h_from_microtesla(15.0);
+        let a = fe.measure_into_faulted(h, 9, &mut detector, &faults, |_, _| {});
+        assert_eq!(a.duty, 1.0);
+        // One edge at most: the idle-low → welded-high transition.
+        assert!(a.pulse_edges <= 1, "edges {}", a.pulse_edges);
+        let b = fe.measure_into_faulted(h, 9, &mut detector, &faults, |_, _| {});
+        assert_eq!(a, b, "faulted measurement must be reproducible");
+    }
+
+    #[test]
+    fn hk_ramp_shifts_duty_beyond_clean_value() {
+        let fe = FrontEnd::default();
+        let mut faults = fluxcomp_faults::FixFaults::none();
+        faults.hk_ramp = 60.0; // a quarter of H_peak by window end
+        faults.injected = 1;
+        let mut detector = PulsePositionDetector::new(fe.config().detector);
+        let h = h_from_microtesla(15.0);
+        let clean = fe.measure_with_seed(h, 3);
+        let drifted = fe.measure_into_faulted(h, 3, &mut detector, &faults, |_, _| {});
+        // duty = 1/2 − H/(2·H_peak): a positive field offset pushes the
+        // duty further down than the clean measurement.
+        assert!(
+            drifted.duty < clean.duty - 0.01,
+            "drift did not move duty: clean {} vs drifted {}",
+            clean.duty,
+            drifted.duty
+        );
     }
 }

@@ -174,6 +174,10 @@ fn print_experiment() -> std::io::Result<()> {
             ("p50_ms_uncached", uncached.p50_ms),
             ("p95_ms_uncached", uncached.p95_ms),
             ("p99_ms_uncached", uncached.p99_ms),
+            // Per-status accounting across both mixes: nothing is
+            // lumped into a catch-all — every non-Ok outcome is typed.
+            ("completed", (cached.completed + uncached.completed) as f64),
+            ("ok", (cached.ok + uncached.ok) as f64),
             (
                 "overloaded",
                 (cached.overloaded + uncached.overloaded) as f64,
@@ -182,6 +186,20 @@ fn print_experiment() -> std::io::Result<()> {
                 "deadline_exceeded",
                 (cached.deadline_exceeded + uncached.deadline_exceeded) as f64,
             ),
+            (
+                "shutting_down",
+                (cached.shutting_down + uncached.shutting_down) as f64,
+            ),
+            (
+                "unmeasurable",
+                (cached.unmeasurable + uncached.unmeasurable) as f64,
+            ),
+            (
+                "quality_degraded",
+                (cached.quality_degraded + uncached.quality_degraded) as f64,
+            ),
+            ("retries", (cached.retries + uncached.retries) as f64),
+            ("lost", (cached.lost + uncached.lost) as f64),
             (
                 "errors",
                 (cached.protocol_errors + uncached.protocol_errors) as f64,

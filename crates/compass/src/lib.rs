@@ -51,6 +51,7 @@ pub mod baseline;
 pub mod calibration;
 pub mod chip;
 pub mod config;
+pub mod degraded;
 pub mod energy;
 pub mod evaluate;
 pub mod filter;
@@ -65,6 +66,7 @@ pub use baseline::SecondHarmonicCompass;
 pub use calibration::Calibration;
 pub use chip::{build_chip, paper_chip, ChipReport};
 pub use config::{BuildError, CompassConfig};
+pub use degraded::{AxisHealth, CheckedReading, DegradedTracker, FixQuality, HealthPolicy};
 pub use energy::{battery_life_days, Battery, UsageProfile};
 pub use evaluate::{repeat_heading, sweep_headings, sweep_headings_traced, AccuracyStats};
 pub use filter::{circular_mean, circular_std, HeadingSmoother};

@@ -352,6 +352,140 @@ impl CompassDesign {
         let (hx, hy) = self.pair.axial_fields(&self.config.field, true_heading);
         Degrees::atan2(hy.value(), hx.value()).normalized()
     }
+
+    /// Total counter clock edges in one axis's measurement window — the
+    /// full-scale `|count|` reached when the axial field equals
+    /// `±H_peak` (`count ≈ full_scale · (2·duty − 1)`), and the scale
+    /// factor the degraded-mode health checks use to cross-validate a
+    /// count against its duty.
+    pub fn counter_full_scale(&self) -> i64 {
+        self.schedule.total_edges() as i64
+    }
+
+    /// [`measure_axis_field_scratch`](Self::measure_axis_field_scratch)
+    /// under a [`FaultPlan`](fluxcomp_faults::FaultPlan).
+    ///
+    /// Which faults strike is a pure function of `(plan, axis,
+    /// noise_seed)` — see the `fluxcomp-faults` determinism contract —
+    /// and when nothing strikes this delegates to the plain fast path,
+    /// so a zero plan leaves the bitstream untouched by construction.
+    pub fn measure_axis_field_scratch_faulted(
+        &self,
+        axis: Axis,
+        h_ext: AmperePerMeter,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+        plan: &fluxcomp_faults::FaultPlan,
+    ) -> AxisMeasurement {
+        let faults = plan.compile(fault_axis_index(axis), noise_seed);
+        if faults.is_none() {
+            return self.measure_axis_field_scratch(axis, h_ext, noise_seed, scratch);
+        }
+        let _excitation = fluxcomp_obs::span("compass.stage.excitation");
+        let MeasureScratch { detector, counter } = scratch;
+        counter.reset();
+        let schedule = &self.schedule;
+        let outcome = self.frontend.measure_into_faulted(
+            h_ext,
+            noise_seed,
+            detector,
+            &faults,
+            |index, up| {
+                counter.clock_n(up, schedule.edges_at(index));
+            },
+        );
+        AxisMeasurement {
+            axis,
+            duty: outcome.duty,
+            count: counter.value(),
+            clipped: outcome.clipped,
+        }
+    }
+
+    /// [`measure_heading_scratch`](Self::measure_heading_scratch) under
+    /// a fault plan: both axes measured through
+    /// [`measure_axis_field_scratch_faulted`](Self::measure_axis_field_scratch_faulted),
+    /// then the shared CORDIC fold.
+    pub fn measure_heading_scratch_faulted(
+        &self,
+        true_heading: Degrees,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+        plan: &fluxcomp_faults::FaultPlan,
+    ) -> Reading {
+        let h_x = self
+            .pair
+            .axial_field(Axis::X, &self.config.field, true_heading);
+        let h_y = self
+            .pair
+            .axial_field(Axis::Y, &self.config.field, true_heading);
+        let x = self.measure_axis_field_scratch_faulted(Axis::X, h_x, noise_seed, scratch, plan);
+        let y = self.measure_axis_field_scratch_faulted(Axis::Y, h_y, noise_seed, scratch, plan);
+        self.fold_heading(x, y)
+    }
+
+    /// [`measure_field_scratch`](Self::measure_field_scratch) under a
+    /// fault plan.
+    pub fn measure_field_scratch_faulted(
+        &self,
+        hx: AmperePerMeter,
+        hy: AmperePerMeter,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+        plan: &fluxcomp_faults::FaultPlan,
+    ) -> Reading {
+        let x = self.measure_axis_field_scratch_faulted(Axis::X, hx, noise_seed, scratch, plan);
+        let y = self.measure_axis_field_scratch_faulted(Axis::Y, hy, noise_seed, scratch, plan);
+        self.fold_heading(x, y)
+    }
+
+    /// One health-checked fix from a true heading: measure (under
+    /// `plan`, if any), score both axes, and fold the result into a
+    /// [`CheckedReading`](crate::degraded::CheckedReading) with a typed
+    /// [`FixQuality`](crate::degraded::FixQuality) — `Good` when both
+    /// axes pass, `Degraded` (single-axis fallback) when one fails,
+    /// `Invalid` (hold last good heading) when both fail.
+    pub fn measure_heading_checked(
+        &self,
+        true_heading: Degrees,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+        plan: Option<&fluxcomp_faults::FaultPlan>,
+        tracker: &mut crate::degraded::DegradedTracker,
+    ) -> crate::degraded::CheckedReading {
+        let reading = match plan {
+            Some(p) => self.measure_heading_scratch_faulted(true_heading, noise_seed, scratch, p),
+            None => self.measure_heading_scratch(true_heading, noise_seed, scratch),
+        };
+        tracker.assess(reading)
+    }
+
+    /// One health-checked fix from an explicit field vector — the serve
+    /// layer's entry point. See
+    /// [`measure_heading_checked`](Self::measure_heading_checked).
+    pub fn measure_field_checked(
+        &self,
+        hx: AmperePerMeter,
+        hy: AmperePerMeter,
+        noise_seed: u64,
+        scratch: &mut MeasureScratch,
+        plan: Option<&fluxcomp_faults::FaultPlan>,
+        tracker: &mut crate::degraded::DegradedTracker,
+    ) -> crate::degraded::CheckedReading {
+        let reading = match plan {
+            Some(p) => self.measure_field_scratch_faulted(hx, hy, noise_seed, scratch, p),
+            None => self.measure_field_scratch(hx, hy, noise_seed, scratch),
+        };
+        tracker.assess(reading)
+    }
+}
+
+/// The activation-draw axis index of the fault subsystem (0 = X, 1 = Y).
+fn fault_axis_index(axis: Axis) -> u32 {
+    match axis {
+        Axis::X => 0,
+        Axis::Y => 1,
+    }
 }
 
 /// The integrated compass: an immutable [`CompassDesign`] plus the

@@ -40,5 +40,5 @@ pub mod seed;
 pub mod stats;
 
 pub use pool::{par_map, par_map_range, par_map_range_scratch, par_map_scratch, ExecPolicy};
-pub use seed::derive_seed;
+pub use seed::{derive_seed, unit_f64};
 pub use stats::{SortedSamples, StreamStats};

@@ -14,7 +14,13 @@
 //! Configuration comes from the environment (`FLUXCOMP_SERVE_WORKERS`,
 //! `FLUXCOMP_SERVE_QUEUE`, `FLUXCOMP_SERVE_BATCH`, `FLUXCOMP_SERVE_CACHE`,
 //! `FLUXCOMP_SERVE_CACHE_SHARDS`, and `FLUXCOMP_THREADS` for the auto
-//! worker count). `FLUXCOMP_SERVE_RUN_MS` bounds the lifetime: after
+//! worker count). Fault injection and degraded mode:
+//! `FLUXCOMP_FAULT_PLAN` (e.g. `seed=7;open_pickup@x:0.2`) injects
+//! seeded sensor faults into every computed fix,
+//! `FLUXCOMP_SERVE_QUARANTINE_AFTER` / `..._QUARANTINE_BACKOFF_MS` tune
+//! worker quarantine, and `FLUXCOMP_SERVE_WORKER_FAULT="W:K"` forces a
+//! stuck comparator on worker `W`'s first `K` fixes (quarantine smoke
+//! tests). `FLUXCOMP_SERVE_RUN_MS` bounds the lifetime: after
 //! that many milliseconds the server shuts down gracefully and the
 //! process exits 0 — the CI smoke test uses this. Unset, the server
 //! runs until killed. Set `FLUXCOMP_OBS=text` (or `json`) to get the
@@ -43,6 +49,19 @@ fn main() {
     let mut config = ServeConfig::from_env();
     if let Some(addr) = std::env::args().nth(1) {
         config.addr = addr;
+    }
+    if let Some(plan) = &config.fault_plan {
+        eprintln!(
+            "fix_server: fault plan active (seed {:#x}, {} spec(s))",
+            plan.seed(),
+            plan.specs().len()
+        );
+    }
+    if let Some(wf) = config.worker_fault {
+        eprintln!(
+            "fix_server: forced fault on worker {} for its first {} fixes",
+            wf.worker, wf.fixes
+        );
     }
     let mut server = match FixServer::start(design, config) {
         Ok(server) => server,

@@ -4,8 +4,16 @@
 //! ```text
 //! cargo run --release -p fluxcomp-serve --example loadgen -- ADDR \
 //!     [--requests N] [--rate HZ] [--connections C] [--deadline-ms MS] \
-//!     [--unique U] [--no-cache] [--field-vector]
+//!     [--unique U] [--no-cache] [--field-vector] \
+//!     [--max-retries R] [--retry-budget B] [--max-invalid-pct P]
 //! ```
+//!
+//! `--max-retries`/`--retry-budget` enable deterministic jittered
+//! retry of `Overloaded` responses (per-request cap, run-wide budget).
+//! `--max-invalid-pct P` fails the run when more than `P` percent of
+//! completed responses were `Unmeasurable` (invalid fixes) — the CI
+//! fault smoke test asserts a degraded server still serves ≥ 99%
+//! non-invalid fixes.
 //!
 //! Exits nonzero when no request completed or any protocol error (a
 //! malformed or unmatched response, a dropped request) occurred — the
@@ -13,11 +21,14 @@
 
 use fluxcomp_serve::loadgen;
 use fluxcomp_serve::LoadGenConfig;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen ADDR [--requests N] [--rate HZ] [--connections C] \
-         [--deadline-ms MS] [--unique U] [--no-cache] [--field-vector]"
+         [--deadline-ms MS] [--unique U] [--no-cache] [--field-vector] \
+         [--max-retries R] [--retry-budget B] [--retry-backoff-ms MS] \
+         [--max-invalid-pct P]"
     );
     std::process::exit(2);
 }
@@ -29,6 +40,7 @@ fn main() {
         addr,
         ..LoadGenConfig::default()
     };
+    let mut max_invalid_pct: Option<f64> = None;
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
             args.next().unwrap_or_else(|| {
@@ -52,6 +64,26 @@ fn main() {
             }
             "--no-cache" => config.no_cache = true,
             "--field-vector" => config.field_vector = true,
+            "--max-retries" => {
+                config.max_retries = value("--max-retries").parse().unwrap_or_else(|_| usage())
+            }
+            "--retry-budget" => {
+                config.retry_budget = value("--retry-budget").parse().unwrap_or_else(|_| usage())
+            }
+            "--retry-backoff-ms" => {
+                config.retry_backoff = Duration::from_millis(
+                    value("--retry-backoff-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--max-invalid-pct" => {
+                max_invalid_pct = Some(
+                    value("--max-invalid-pct")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -77,6 +109,10 @@ fn main() {
         report.lost,
     );
     println!(
+        "quality: good {} | degraded {} | unmeasurable {} | retries {}",
+        report.quality_good, report.quality_degraded, report.unmeasurable, report.retries,
+    );
+    println!(
         "elapsed {:.3} s | {:.0} fixes/s | latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
         report.elapsed.as_secs_f64(),
         report.fixes_per_s,
@@ -87,5 +123,15 @@ fn main() {
     if report.completed == 0 || report.protocol_errors > 0 || report.lost > 0 {
         eprintln!("loadgen: FAILED (no completions, protocol errors, or lost requests)");
         std::process::exit(1);
+    }
+    if let Some(pct) = max_invalid_pct {
+        let invalid_pct = 100.0 * report.unmeasurable as f64 / report.completed as f64;
+        if invalid_pct > pct {
+            eprintln!(
+                "loadgen: FAILED ({invalid_pct:.2}% unmeasurable fixes exceeds the \
+                 {pct:.2}% budget)"
+            );
+            std::process::exit(1);
+        }
     }
 }

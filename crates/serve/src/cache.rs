@@ -5,9 +5,15 @@
 //! platform polled by many clients — can be deduplicated: the first
 //! request computes the fix, every later one is a hash lookup. Keys
 //! compare the *bit patterns* of the request floats, matching the
-//! bit-exactness contract of the measurement core (`-0.0` and `0.0` are
-//! different keys; that is deliberate — they are different inputs to the
-//! physics, even if they usually produce the same fix).
+//! bit-exactness contract of the measurement core, with one
+//! canonicalisation: `-0.0` is folded onto `0.0` before taking bits.
+//! The measurement pipeline is insensitive to the sign of a zero field
+//! component (the excitation sweep and counter see the identical
+//! waveform), so letting the two bit patterns alias to different slots
+//! would silently halve the hit rate for clients that compute `0.0`
+//! with a sign. Non-finite fields never get a key — they cannot name a
+//! fix, so the server rejects them before measurement and the cache is
+//! never touched.
 //!
 //! The cache is sharded to keep lock hold times short under a worker
 //! pool: each shard is an independent `Mutex` around a classic
@@ -30,21 +36,36 @@ pub struct FixKey {
 
 impl FixKey {
     /// The key for a request (its id, deadline and cache flag do not
-    /// affect the fix and are excluded).
-    pub fn for_request(request: &FixRequest) -> Self {
+    /// affect the fix and are excluded). Returns `None` when any field
+    /// float is non-finite — such a request cannot be cached.
+    ///
+    /// `-0.0` is canonicalised to `0.0` (`x + 0.0` maps a negative zero
+    /// to positive zero and is the identity on every other finite
+    /// value), so the two spellings of a zero field share one cache
+    /// slot. The fix itself is bit-identical for both: the field enters
+    /// the physics additively, and `h + -0.0 == h + 0.0` bitwise for
+    /// every finite `h`.
+    pub fn for_request(request: &FixRequest) -> Option<Self> {
+        let canon = |x: f64| -> Option<u64> {
+            if x.is_finite() {
+                Some((x + 0.0).to_bits())
+            } else {
+                None
+            }
+        };
         match request.field {
-            FieldSpec::HeadingTruth(deg) => Self {
+            FieldSpec::HeadingTruth(deg) => Some(Self {
                 kind: 0,
-                a: deg.to_bits(),
+                a: canon(deg)?,
                 b: 0,
                 seed: request.seed,
-            },
-            FieldSpec::FieldVector { hx, hy } => Self {
+            }),
+            FieldSpec::FieldVector { hx, hy } => Some(Self {
                 kind: 1,
-                a: hx.to_bits(),
-                b: hy.to_bits(),
+                a: canon(hx)?,
+                b: canon(hy)?,
                 seed: request.seed,
-            },
+            }),
         }
     }
 
@@ -243,6 +264,7 @@ mod tests {
             no_cache: false,
             field: FieldSpec::HeadingTruth(42.0),
         })
+        .unwrap()
     }
 
     fn fix(heading: f64) -> CachedFix {
@@ -310,22 +332,79 @@ mod tests {
             field: FieldSpec::FieldVector { hx: 1.0, hy: 0.0 },
         });
         assert_ne!(heading, vector);
-        // Signed zero is a distinct bit pattern, hence a distinct key.
+    }
+
+    #[test]
+    fn negative_zero_hits_the_positive_zero_entry() {
+        // Regression: the two bit patterns of zero used to alias to
+        // different keys, so a client writing `-0.0` missed a fix cached
+        // under `0.0`. The fix is identical for both, so the keys must
+        // collapse.
         let pos = FixKey::for_request(&FixRequest {
             id: 0,
             seed: 7,
             deadline_ms: 0,
             no_cache: false,
             field: FieldSpec::HeadingTruth(0.0),
-        });
+        })
+        .unwrap();
         let neg = FixKey::for_request(&FixRequest {
             id: 0,
             seed: 7,
             deadline_ms: 0,
             no_cache: false,
             field: FieldSpec::HeadingTruth(-0.0),
-        });
-        assert_ne!(pos, neg);
+        })
+        .unwrap();
+        assert_eq!(pos, neg);
+        let cache = FixCache::new(8, 1);
+        cache.insert(pos, fix(0.25));
+        assert_eq!(cache.get(&neg), Some(fix(0.25)));
+
+        // Vector requests canonicalise each component independently.
+        let v_pos = FixKey::for_request(&FixRequest {
+            id: 0,
+            seed: 7,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::FieldVector { hx: 12.0, hy: 0.0 },
+        })
+        .unwrap();
+        let v_neg = FixKey::for_request(&FixRequest {
+            id: 0,
+            seed: 7,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::FieldVector { hx: 12.0, hy: -0.0 },
+        })
+        .unwrap();
+        assert_eq!(v_pos, v_neg);
+    }
+
+    #[test]
+    fn non_finite_fields_get_no_key() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                FixKey::for_request(&FixRequest {
+                    id: 0,
+                    seed: 7,
+                    deadline_ms: 0,
+                    no_cache: false,
+                    field: FieldSpec::HeadingTruth(bad),
+                }),
+                None
+            );
+            assert_eq!(
+                FixKey::for_request(&FixRequest {
+                    id: 0,
+                    seed: 7,
+                    deadline_ms: 0,
+                    no_cache: false,
+                    field: FieldSpec::FieldVector { hx: 1.0, hy: bad },
+                }),
+                None
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,20 @@
 //!   `MeasureScratch` (zero allocation on the steady-state fix path)
 //!   and shares the immutable `CompassDesign`;
 //! * [`loadgen`] — the open-loop load generator with p50/p95/p99
-//!   latency reporting.
+//!   latency reporting, per-status accounting, and deterministic
+//!   jittered retry of `Overloaded` responses under a run-wide budget.
+//!
+//! ## Fault injection and degraded mode
+//!
+//! The server measures every fix through the health-checked compass
+//! path: `FLUXCOMP_FAULT_PLAN` (see `fluxcomp_faults::FaultPlan`)
+//! injects seeded deterministic sensor faults, per-axis health scoring
+//! grades each fix `Good`/`Degraded`/`Invalid`, and the wire protocol
+//! carries the quality in the response flags (protocol v2; v1 clients
+//! still interoperate). `Invalid` fixes are answered as
+//! [`Status::Unmeasurable`] with the held last-good heading. Workers
+//! that keep producing non-`Good` fixes quarantine themselves and probe
+//! for recovery — see [`server`] for the state machine.
 //!
 //! Everything is `std` — threads, `TcpListener`, `Mutex`/`Condvar` —
 //! with no async runtime, matching the workspace's no-external-deps
@@ -64,4 +77,4 @@ pub use cache::{CachedFix, FixCache, FixKey};
 pub use loadgen::{LoadGenConfig, LoadReport};
 pub use protocol::{FieldSpec, FixRequest, FixResponse, ProtocolError, Status};
 pub use queue::{BatchQueue, PushError};
-pub use server::{FixServer, ServeConfig};
+pub use server::{FixServer, ServeConfig, WorkerFault};

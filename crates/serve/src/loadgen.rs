@@ -11,15 +11,26 @@
 //! (tallies responses, matches request ids to send timestamps for
 //! latency). Percentiles come from [`SortedSamples`] over the `Ok`
 //! response latencies.
+//!
+//! ## Retries
+//!
+//! `Overloaded` responses can be retried with deterministic jittered
+//! exponential backoff: attempt `a` of request `id` waits
+//! `retry_backoff · 2^a · (0.5 + unit_f64(derive_seed(id, a)))`, so the
+//! retry schedule is a pure function of the request and reproducible
+//! run to run. Retries draw from a run-wide `retry_budget` shared by
+//! all connections — a saturated server sees at most `budget` extra
+//! requests, never a retry storm.
 
 use crate::protocol::{
     read_frame, write_request, FieldSpec, FixRequest, FixResponse, ReadFrame, Status,
 };
-use fluxcomp_exec::{derive_seed, SortedSamples};
+use fluxcomp_compass::FixQuality;
+use fluxcomp_exec::{derive_seed, unit_f64, SortedSamples};
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -50,6 +61,14 @@ pub struct LoadGenConfig {
     pub base_seed: u64,
     /// How long receivers keep draining after the last send.
     pub drain_timeout: Duration,
+    /// Per-request cap on `Overloaded` retries; `0` disables retrying.
+    pub max_retries: u32,
+    /// Run-wide retry budget shared across all connections; each retry
+    /// send consumes one unit. `0` disables retrying.
+    pub retry_budget: u64,
+    /// Base backoff before the first retry (doubles per attempt, with
+    /// ×[0.5, 1.5) deterministic jitter).
+    pub retry_backoff: Duration,
 }
 
 impl Default for LoadGenConfig {
@@ -65,6 +84,9 @@ impl Default for LoadGenConfig {
             unique_fixes: 64,
             base_seed: 0xf1c5,
             drain_timeout: Duration::from_secs(10),
+            max_retries: 0,
+            retry_budget: 0,
+            retry_backoff: Duration::from_millis(2),
         }
     }
 }
@@ -72,7 +94,7 @@ impl Default for LoadGenConfig {
 /// Aggregated results of one load-generator run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Requests written to the sockets.
+    /// Requests written to the sockets (retries included).
     pub sent: u64,
     /// Responses received (any status).
     pub completed: u64,
@@ -80,12 +102,21 @@ pub struct LoadReport {
     pub ok: u64,
     /// `Ok` responses served from the fix cache.
     pub cache_hits: u64,
+    /// `Ok` responses flagged [`FixQuality::Good`].
+    pub quality_good: u64,
+    /// `Ok` responses flagged [`FixQuality::Degraded`].
+    pub quality_degraded: u64,
+    /// `Unmeasurable` responses (the server held a stale heading;
+    /// quality is `Invalid`).
+    pub unmeasurable: u64,
     /// `Overloaded` responses.
     pub overloaded: u64,
     /// `DeadlineExceeded` responses.
     pub deadline_exceeded: u64,
     /// `ShuttingDown` responses.
     pub shutting_down: u64,
+    /// Retry sends performed after `Overloaded` responses.
+    pub retries: u64,
     /// Protocol-level failures: `BadRequest`/`InvalidConfig` responses,
     /// undecodable frames, responses to unknown ids, and socket errors.
     pub protocol_errors: u64,
@@ -109,9 +140,13 @@ struct ConnTally {
     completed: u64,
     ok: u64,
     cache_hits: u64,
+    quality_good: u64,
+    quality_degraded: u64,
+    unmeasurable: u64,
     overloaded: u64,
     deadline_exceeded: u64,
     shutting_down: u64,
+    retries: u64,
     protocol_errors: u64,
     latencies_ms: Vec<f64>,
 }
@@ -151,12 +186,14 @@ fn request_for(config: &LoadGenConfig, k: usize) -> FixRequest {
 pub fn run(config: &LoadGenConfig) -> io::Result<LoadReport> {
     let connections = config.connections.max(1);
     let start = Instant::now();
+    let budget = Arc::new(AtomicU64::new(config.retry_budget));
     let mut handles = Vec::with_capacity(connections);
     for c in 0..connections {
         let stream = TcpStream::connect(&config.addr)?;
         let config = config.clone();
+        let budget = Arc::clone(&budget);
         handles.push(thread::spawn(move || {
-            connection_run(&config, c, stream, start)
+            connection_run(&config, c, stream, start, &budget)
         }));
     }
     let mut total = ConnTally::default();
@@ -166,9 +203,13 @@ pub fn run(config: &LoadGenConfig) -> io::Result<LoadReport> {
         total.completed += tally.completed;
         total.ok += tally.ok;
         total.cache_hits += tally.cache_hits;
+        total.quality_good += tally.quality_good;
+        total.quality_degraded += tally.quality_degraded;
+        total.unmeasurable += tally.unmeasurable;
         total.overloaded += tally.overloaded;
         total.deadline_exceeded += tally.deadline_exceeded;
         total.shutting_down += tally.shutting_down;
+        total.retries += tally.retries;
         total.protocol_errors += tally.protocol_errors;
         total.latencies_ms.extend_from_slice(&tally.latencies_ms);
     }
@@ -188,9 +229,13 @@ pub fn run(config: &LoadGenConfig) -> io::Result<LoadReport> {
         completed: total.completed,
         ok: total.ok,
         cache_hits: total.cache_hits,
+        quality_good: total.quality_good,
+        quality_degraded: total.quality_degraded,
+        unmeasurable: total.unmeasurable,
         overloaded: total.overloaded,
         deadline_exceeded: total.deadline_exceeded,
         shutting_down: total.shutting_down,
+        retries: total.retries,
         protocol_errors: total.protocol_errors,
         lost: total.sent.saturating_sub(total.completed),
         elapsed,
@@ -205,11 +250,20 @@ pub fn run(config: &LoadGenConfig) -> io::Result<LoadReport> {
     })
 }
 
+/// The deterministic jittered backoff before retry attempt `attempt`
+/// (1-based) of request `id`.
+fn retry_delay(config: &LoadGenConfig, id: u64, attempt: u32) -> Duration {
+    let jitter = 0.5 + unit_f64(derive_seed(id, u64::from(attempt)));
+    let scale = f64::from(1u32 << attempt.min(16)) / 2.0;
+    Duration::from_secs_f64(config.retry_backoff.as_secs_f64() * scale * jitter)
+}
+
 fn connection_run(
     config: &LoadGenConfig,
     conn_index: usize,
     stream: TcpStream,
     start: Instant,
+    budget: &Arc<AtomicU64>,
 ) -> ConnTally {
     let connections = config.connections.max(1);
     let _ = stream.set_nodelay(true);
@@ -217,17 +271,32 @@ fn connection_run(
     let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
     let sent = Arc::new(AtomicUsize::new(0));
     let sender_done = Arc::new(AtomicBool::new(false));
+    // Retries are written by the receiver, so all writes to the socket
+    // (paced sends and retries) go through one shared lock.
+    let writer = Arc::new(Mutex::new(
+        stream.try_clone().expect("clone loadgen socket"),
+    ));
 
     let receiver = {
-        let stream = stream.try_clone().expect("clone loadgen socket");
+        let config = config.clone();
         let pending = Arc::clone(&pending);
         let sent = Arc::clone(&sent);
         let sender_done = Arc::clone(&sender_done);
-        let drain_timeout = config.drain_timeout;
-        thread::spawn(move || receive_loop(stream, &pending, &sent, &sender_done, drain_timeout))
+        let writer = Arc::clone(&writer);
+        let budget = Arc::clone(budget);
+        thread::spawn(move || {
+            receive_loop(
+                &config,
+                stream,
+                &pending,
+                &sent,
+                &sender_done,
+                &writer,
+                &budget,
+            )
+        })
     };
 
-    let mut writer = stream;
     let mut send_errors = 0u64;
     let mut k = conn_index;
     let mut j = 0usize;
@@ -243,7 +312,7 @@ fn connection_run(
         // Record the pending send *before* the write so a fast response
         // can never race the bookkeeping.
         pending.lock().unwrap().insert(request.id, Instant::now());
-        if write_request(&mut writer, &request).is_err() {
+        if write_request(&mut *writer.lock().unwrap(), &request).is_err() {
             pending.lock().unwrap().remove(&request.id);
             send_errors += 1;
             break;
@@ -259,24 +328,59 @@ fn connection_run(
     tally
 }
 
+/// A retry scheduled for `due`; `attempt` is how many times the request
+/// has already been sent.
+struct PendingRetry {
+    due: Instant,
+    id: u64,
+    attempt: u32,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn receive_loop(
+    config: &LoadGenConfig,
     mut stream: TcpStream,
     pending: &Mutex<HashMap<u64, Instant>>,
     sent: &AtomicUsize,
     sender_done: &AtomicBool,
-    drain_timeout: Duration,
+    writer: &Mutex<TcpStream>,
+    budget: &AtomicU64,
 ) -> ConnTally {
     let mut tally = ConnTally::default();
     let mut buf = Vec::new();
     let mut drain_start: Option<Instant> = None;
+    // Attempts already made per request id (first send = attempt 1).
+    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    let mut retries: Vec<PendingRetry> = Vec::new();
     loop {
+        // Fire due retries before checking for completion so a
+        // scheduled retry is never abandoned by an early exit.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < retries.len() {
+            if retries[i].due <= now {
+                let retry = retries.swap_remove(i);
+                let request = request_for(config, retry.id as usize);
+                pending.lock().unwrap().insert(request.id, Instant::now());
+                if write_request(&mut *writer.lock().unwrap(), &request).is_err() {
+                    pending.lock().unwrap().remove(&request.id);
+                    tally.protocol_errors += 1;
+                } else {
+                    sent.fetch_add(1, Ordering::SeqCst);
+                    tally.retries += 1;
+                    attempts.insert(retry.id, retry.attempt + 1);
+                }
+            } else {
+                i += 1;
+            }
+        }
         let done = sender_done.load(Ordering::SeqCst);
-        if done && tally.completed as usize >= sent.load(Ordering::SeqCst) {
+        if done && retries.is_empty() && tally.completed as usize >= sent.load(Ordering::SeqCst) {
             break;
         }
-        if done {
+        if done && retries.is_empty() {
             let since = drain_start.get_or_insert_with(Instant::now);
-            if since.elapsed() > drain_timeout {
+            if since.elapsed() > config.drain_timeout {
                 break;
             }
         }
@@ -292,10 +396,32 @@ fn receive_loop(
                             if response.cache_hit {
                                 tally.cache_hits += 1;
                             }
+                            match response.quality {
+                                FixQuality::Good => tally.quality_good += 1,
+                                FixQuality::Degraded => tally.quality_degraded += 1,
+                                FixQuality::Invalid => {}
+                            }
                             tally.latencies_ms.push(at.elapsed().as_secs_f64() * 1e3);
                         }
                         (Status::Ok, None) => tally.protocol_errors += 1,
-                        (Status::Overloaded, _) => tally.overloaded += 1,
+                        (Status::Unmeasurable, _) => tally.unmeasurable += 1,
+                        (Status::Overloaded, _) => {
+                            tally.overloaded += 1;
+                            let attempt = *attempts.entry(response.id).or_insert(1);
+                            if attempt <= config.max_retries
+                                && budget
+                                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+                                        b.checked_sub(1)
+                                    })
+                                    .is_ok()
+                            {
+                                retries.push(PendingRetry {
+                                    due: Instant::now() + retry_delay(config, response.id, attempt),
+                                    id: response.id,
+                                    attempt,
+                                });
+                            }
+                        }
                         (Status::DeadlineExceeded, _) => tally.deadline_exceeded += 1,
                         (Status::ShuttingDown, _) => tally.shutting_down += 1,
                         (_, _) => tally.protocol_errors += 1,

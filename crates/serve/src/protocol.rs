@@ -11,21 +11,25 @@
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 1    | tag (`0x01`) |
-//! | 1      | 1    | protocol version (`1`) |
+//! | 1      | 1    | protocol version (`1` or `2`) |
 //! | 2      | 2    | flags (`u16` LE): bit 0 = field-vector, bit 1 = no-cache |
 //! | 4      | 8    | request id (`u64` LE, echoed in the response) |
 //! | 12     | 8    | noise seed (`u64` LE) |
 //! | 20     | 4    | deadline (`u32` LE, milliseconds; 0 = none) |
 //! | 24     | 8/16 | heading truth (`f64` LE) **or** `h_x`,`h_y` (`f64` LE ×2) |
 //!
+//! Unknown flag bits (reserved for future versions) are rejected with a
+//! typed [`ProtocolError::BadFlags`] — a v3 client talking to a v2
+//! server gets a clean `BadRequest`, never a silently misread request.
+//!
 //! ## Response payload (`tag = 0x02`)
 //!
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 1    | tag (`0x02`) |
-//! | 1      | 1    | protocol version (`1`) |
+//! | 1      | 1    | protocol version (echoes the request's) |
 //! | 2      | 1    | status (`u8`, see [`Status`]) |
-//! | 3      | 1    | flags: bit 0 = cache hit, bit 1 = V-I clipped |
+//! | 3      | 1    | flags: bit 0 = cache hit, bit 1 = V-I clipped, bits 2–3 = fix quality (v2+) |
 //! | 4      | 8    | request id (`u64` LE) |
 //! | 12     | 8    | heading (`f64` LE, degrees in `[0, 360)`) |
 //! | 20     | 8    | X duty cycle (`f64` LE) |
@@ -33,15 +37,32 @@
 //! | 36     | 8    | X counter output (`i64` LE) |
 //! | 44     | 8    | Y counter output (`i64` LE) |
 //!
-//! Non-`Ok` responses carry zeros in the measurement fields.
+//! Failure responses ([`Status::Overloaded`] and friends) carry zeros in
+//! the measurement fields. [`Status::Unmeasurable`] (v2) is the one
+//! exception: the fix ran but failed its health checks, and the heading
+//! field carries the worker's held last-good heading (duties/counts
+//! zero, quality [`FixQuality::Invalid`]).
+//!
+//! ## Version gating
+//!
+//! Version 2 added the fix-quality flag bits and `Unmeasurable`. A v1
+//! request gets a v1 response: quality bits stay zero and decoders
+//! infer `Good`/`Invalid` from the status alone. Status bytes are *not*
+//! gated — a v1 client confronted with an `Unmeasurable` fix receives
+//! the unknown status byte and fails with a typed
+//! [`ProtocolError::BadStatus`] instead of trusting a held heading it
+//! cannot know is held.
 
-use fluxcomp_compass::BuildError;
+use fluxcomp_compass::{BuildError, FixQuality};
 use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Protocol version spoken by this crate.
-pub const WIRE_VERSION: u8 = 1;
+/// Newest protocol version spoken by this crate.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest protocol version still accepted.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Request payload tag byte.
 pub const REQUEST_TAG: u8 = 0x01;
@@ -66,6 +87,17 @@ pub const RESP_FLAG_CACHE_HIT: u8 = 1 << 0;
 
 /// Response flag: the V-I converter clipped on at least one axis.
 pub const RESP_FLAG_CLIPPED: u8 = 1 << 1;
+
+/// Bit offset of the fix-quality field in the response flags (v2+).
+pub const RESP_QUALITY_SHIFT: u8 = 2;
+
+/// Mask of the fix-quality field in the response flags (v2+):
+/// `0` = Good, `1` = Degraded, `2` = Invalid.
+pub const RESP_QUALITY_MASK: u8 = 0b11 << RESP_QUALITY_SHIFT;
+
+/// Request flag bits this version understands; anything else is
+/// [`ProtocolError::BadFlags`].
+const REQUEST_FLAGS_KNOWN: u16 = FLAG_FIELD_VECTOR | FLAG_NO_CACHE;
 
 const REQUEST_HEAD: usize = 24;
 
@@ -125,6 +157,10 @@ pub enum Status {
     ShuttingDown = 4,
     /// The server's compass configuration was rejected.
     InvalidConfig = 5,
+    /// The fix was computed but failed its health checks on both axes
+    /// (v2): the heading field carries the worker's held last-good
+    /// heading with zero confidence. Never cached, never `Ok`-flagged.
+    Unmeasurable = 6,
 }
 
 impl Status {
@@ -137,6 +173,7 @@ impl Status {
             3 => Status::BadRequest,
             4 => Status::ShuttingDown,
             5 => Status::InvalidConfig,
+            6 => Status::Unmeasurable,
             other => return Err(ProtocolError::BadStatus { got: other }),
         })
     }
@@ -158,6 +195,7 @@ impl fmt::Display for Status {
             Status::BadRequest => "bad-request",
             Status::ShuttingDown => "shutting-down",
             Status::InvalidConfig => "invalid-config",
+            Status::Unmeasurable => "unmeasurable",
         };
         f.write_str(name)
     }
@@ -174,6 +212,9 @@ pub struct FixResponse {
     pub cache_hit: bool,
     /// The V-I converter clipped on at least one axis.
     pub clipped: bool,
+    /// Health verdict of the fix (v2 wire field; inferred from the
+    /// status when decoding a v1 response).
+    pub quality: FixQuality,
     /// Heading in degrees, `[0, 360)`.
     pub heading: f64,
     /// X-axis detector duty cycle.
@@ -194,12 +235,35 @@ impl FixResponse {
             status,
             cache_hit: false,
             clipped: false,
+            quality: FixQuality::Invalid,
             heading: 0.0,
             duty_x: 0.0,
             duty_y: 0.0,
             count_x: 0,
             count_y: 0,
         }
+    }
+}
+
+/// Encodes a quality as its two wire bits (shifted into place).
+fn quality_bits(quality: FixQuality) -> u8 {
+    let value: u8 = match quality {
+        FixQuality::Good => 0,
+        FixQuality::Degraded => 1,
+        FixQuality::Invalid => 2,
+    };
+    value << RESP_QUALITY_SHIFT
+}
+
+/// Decodes the two quality bits of a v2 response flags byte.
+fn quality_from_bits(flags: u8) -> Result<FixQuality, ProtocolError> {
+    match (flags & RESP_QUALITY_MASK) >> RESP_QUALITY_SHIFT {
+        0 => Ok(FixQuality::Good),
+        1 => Ok(FixQuality::Degraded),
+        2 => Ok(FixQuality::Invalid),
+        _ => Err(ProtocolError::BadFlags {
+            got: u16::from(flags),
+        }),
     }
 }
 
@@ -230,9 +294,18 @@ pub enum ProtocolError {
     },
     /// A request carried a non-finite heading or field component.
     NonFiniteField,
-    /// The frame length prefix exceeds [`MAX_FRAME`].
-    FrameTooLong {
-        /// Length prefix received.
+    /// Flag bits this version does not understand (reserved for future
+    /// versions), or an invalid quality encoding.
+    BadFlags {
+        /// Flags received.
+        got: u16,
+    },
+    /// The frame payload exceeds [`MAX_FRAME`] — rejected before any
+    /// oversized write (whose `u32` length prefix would otherwise
+    /// silently truncate and desync the stream) and before any
+    /// oversized read.
+    FrameTooLarge {
+        /// Payload length seen.
         got: usize,
     },
 }
@@ -245,7 +318,8 @@ impl fmt::Display for ProtocolError {
             ProtocolError::BadVersion { got } => write!(f, "unsupported protocol version {got}"),
             ProtocolError::BadStatus { got } => write!(f, "unknown status byte {got}"),
             ProtocolError::NonFiniteField => f.write_str("non-finite heading or field component"),
-            ProtocolError::FrameTooLong { got } => {
+            ProtocolError::BadFlags { got } => write!(f, "unknown flag bits {got:#06x}"),
+            ProtocolError::FrameTooLarge { got } => {
                 write!(f, "frame length {got} exceeds maximum {MAX_FRAME}")
             }
         }
@@ -289,16 +363,27 @@ impl FixRequest {
     /// Non-finite heading/field components are rejected here so they can
     /// never reach the measurement core.
     pub fn decode_payload(payload: &[u8]) -> Result<Self, ProtocolError> {
+        Self::decode_versioned(payload).map(|(request, _)| request)
+    }
+
+    /// [`decode_payload`](Self::decode_payload), additionally returning
+    /// the protocol version the client spoke — the server answers each
+    /// request at the version it arrived in.
+    pub fn decode_versioned(payload: &[u8]) -> Result<(Self, u8), ProtocolError> {
         if payload.len() < REQUEST_HEAD {
             return Err(ProtocolError::BadLength { got: payload.len() });
         }
         if payload[0] != REQUEST_TAG {
             return Err(ProtocolError::BadTag { got: payload[0] });
         }
-        if payload[1] != WIRE_VERSION {
-            return Err(ProtocolError::BadVersion { got: payload[1] });
+        let version = payload[1];
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+            return Err(ProtocolError::BadVersion { got: version });
         }
         let flags = u16::from_le_bytes(payload[2..4].try_into().unwrap());
+        if flags & !REQUEST_FLAGS_KNOWN != 0 {
+            return Err(ProtocolError::BadFlags { got: flags });
+        }
         let id = u64::from_le_bytes(payload[4..12].try_into().unwrap());
         let seed = u64::from_le_bytes(payload[12..20].try_into().unwrap());
         let deadline_ms = u32::from_le_bytes(payload[20..24].try_into().unwrap());
@@ -323,20 +408,32 @@ impl FixRequest {
         if !finite {
             return Err(ProtocolError::NonFiniteField);
         }
-        Ok(Self {
-            id,
-            seed,
-            deadline_ms,
-            no_cache: flags & FLAG_NO_CACHE != 0,
-            field,
-        })
+        Ok((
+            Self {
+                id,
+                seed,
+                deadline_ms,
+                no_cache: flags & FLAG_NO_CACHE != 0,
+                field,
+            },
+            version,
+        ))
     }
 }
 
 impl FixResponse {
-    /// Encodes the payload into `buf`, returning the payload length.
-    /// `buf` must hold at least [`RESPONSE_LEN`] bytes.
+    /// Encodes the payload at the newest version into `buf`, returning
+    /// the payload length. `buf` must hold at least [`RESPONSE_LEN`]
+    /// bytes.
     pub fn encode_payload(&self, buf: &mut [u8]) -> usize {
+        self.encode_payload_versioned(WIRE_VERSION, buf)
+    }
+
+    /// Encodes the payload at `version` (the version the request
+    /// arrived in). Version 1 zeroes the quality bits — v1 decoders
+    /// treat the flags byte as two booleans and must not see stray
+    /// bits.
+    pub fn encode_payload_versioned(&self, version: u8, buf: &mut [u8]) -> usize {
         let mut flags: u8 = 0;
         if self.cache_hit {
             flags |= RESP_FLAG_CACHE_HIT;
@@ -344,8 +441,11 @@ impl FixResponse {
         if self.clipped {
             flags |= RESP_FLAG_CLIPPED;
         }
+        if version >= 2 {
+            flags |= quality_bits(self.quality);
+        }
         buf[0] = RESPONSE_TAG;
-        buf[1] = WIRE_VERSION;
+        buf[1] = version;
         buf[2] = self.status as u8;
         buf[3] = flags;
         buf[4..12].copy_from_slice(&self.id.to_le_bytes());
@@ -358,6 +458,10 @@ impl FixResponse {
     }
 
     /// Decodes a response payload (without the length prefix).
+    ///
+    /// Accepts any version in `MIN_WIRE_VERSION..=WIRE_VERSION`. A v1
+    /// payload has no quality bits; the quality is inferred from the
+    /// status (`Ok` ⇒ `Good`, anything else ⇒ `Invalid`).
     pub fn decode_payload(payload: &[u8]) -> Result<Self, ProtocolError> {
         if payload.len() != RESPONSE_LEN {
             return Err(ProtocolError::BadLength { got: payload.len() });
@@ -365,16 +469,37 @@ impl FixResponse {
         if payload[0] != RESPONSE_TAG {
             return Err(ProtocolError::BadTag { got: payload[0] });
         }
-        if payload[1] != WIRE_VERSION {
-            return Err(ProtocolError::BadVersion { got: payload[1] });
+        let version = payload[1];
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+            return Err(ProtocolError::BadVersion { got: version });
         }
         let status = Status::from_wire(payload[2])?;
         let flags = payload[3];
+        let quality = if version >= 2 {
+            if flags & !(RESP_FLAG_CACHE_HIT | RESP_FLAG_CLIPPED | RESP_QUALITY_MASK) != 0 {
+                return Err(ProtocolError::BadFlags {
+                    got: u16::from(flags),
+                });
+            }
+            quality_from_bits(flags)?
+        } else {
+            if flags & !(RESP_FLAG_CACHE_HIT | RESP_FLAG_CLIPPED) != 0 {
+                return Err(ProtocolError::BadFlags {
+                    got: u16::from(flags),
+                });
+            }
+            if status == Status::Ok {
+                FixQuality::Good
+            } else {
+                FixQuality::Invalid
+            }
+        };
         Ok(Self {
             id: u64::from_le_bytes(payload[4..12].try_into().unwrap()),
             status,
             cache_hit: flags & RESP_FLAG_CACHE_HIT != 0,
             clipped: flags & RESP_FLAG_CLIPPED != 0,
+            quality,
             heading: f64::from_le_bytes(payload[12..20].try_into().unwrap()),
             duty_x: f64::from_le_bytes(payload[20..28].try_into().unwrap()),
             duty_y: f64::from_le_bytes(payload[28..36].try_into().unwrap()),
@@ -385,8 +510,20 @@ impl FixResponse {
 }
 
 /// Writes one frame: `u32` LE length prefix followed by the payload.
+///
+/// A payload longer than [`MAX_FRAME`] is rejected with a typed
+/// [`ProtocolError::FrameTooLarge`] (as [`io::ErrorKind::InvalidInput`])
+/// **before anything is written**: an unchecked `len as u32` cast would
+/// truncate the prefix for payloads over 4 GiB and, for anything over
+/// `MAX_FRAME`, emit a frame every compliant reader rejects mid-stream
+/// — either way desynchronising the connection.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME);
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            ProtocolError::FrameTooLarge { got: payload.len() },
+        ));
+    }
     let mut frame = [0u8; 4 + MAX_FRAME];
     frame[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     frame[4..4 + payload.len()].copy_from_slice(payload);
@@ -400,10 +537,19 @@ pub fn write_request<W: Write>(w: &mut W, request: &FixRequest) -> io::Result<()
     write_frame(w, &buf[..len])
 }
 
-/// Writes a response as one frame.
+/// Writes a response as one frame (at the newest version).
 pub fn write_response<W: Write>(w: &mut W, response: &FixResponse) -> io::Result<()> {
+    write_response_versioned(w, response, WIRE_VERSION)
+}
+
+/// Writes a response as one frame at `version`.
+pub fn write_response_versioned<W: Write>(
+    w: &mut W,
+    response: &FixResponse,
+    version: u8,
+) -> io::Result<()> {
     let mut buf = [0u8; RESPONSE_LEN];
-    let len = response.encode_payload(&mut buf);
+    let len = response.encode_payload_versioned(version, &mut buf);
     write_frame(w, &buf[..len])
 }
 
@@ -440,7 +586,7 @@ pub fn read_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<ReadFrame
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            ProtocolError::FrameTooLong { got: len },
+            ProtocolError::FrameTooLarge { got: len },
         ));
     }
     if buf.len() < len {
@@ -522,7 +668,7 @@ pub fn read_frame_poll<R: Read>(
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            ProtocolError::FrameTooLong { got: len },
+            ProtocolError::FrameTooLarge { got: len },
         ));
     }
     if buf.len() < len {
@@ -565,20 +711,109 @@ mod tests {
 
     #[test]
     fn response_round_trips_bitwise() {
-        let resp = FixResponse {
-            id: 99,
-            status: Status::Ok,
-            cache_hit: true,
-            clipped: true,
-            heading: 359.999,
-            duty_x: 0.4751,
-            duty_y: 0.5199,
-            count_x: -32767,
-            count_y: 32767,
-        };
+        for quality in [FixQuality::Good, FixQuality::Degraded, FixQuality::Invalid] {
+            let resp = FixResponse {
+                id: 99,
+                status: Status::Ok,
+                cache_hit: true,
+                clipped: true,
+                quality,
+                heading: 359.999,
+                duty_x: 0.4751,
+                duty_y: 0.5199,
+                count_x: -32767,
+                count_y: 32767,
+            };
+            let mut buf = [0u8; RESPONSE_LEN];
+            let len = resp.encode_payload(&mut buf);
+            assert_eq!(FixResponse::decode_payload(&buf[..len]), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn v1_response_encoding_zeroes_quality_bits_and_infers_on_decode() {
+        let mut resp = FixResponse::failure(4, Status::Overloaded);
+        resp.quality = FixQuality::Degraded; // deliberately inconsistent
         let mut buf = [0u8; RESPONSE_LEN];
-        let len = resp.encode_payload(&mut buf);
-        assert_eq!(FixResponse::decode_payload(&buf[..len]), Ok(resp));
+        let len = resp.encode_payload_versioned(1, &mut buf);
+        assert_eq!(buf[1], 1);
+        assert_eq!(
+            buf[3] & RESP_QUALITY_MASK,
+            0,
+            "v1 must not leak quality bits"
+        );
+        let back = FixResponse::decode_payload(&buf[..len]).unwrap();
+        // v1 has no quality on the wire: non-Ok status decodes Invalid.
+        assert_eq!(back.quality, FixQuality::Invalid);
+        assert_eq!(back.status, Status::Overloaded);
+        // And an Ok v1 response decodes Good.
+        let ok = FixResponse {
+            quality: FixQuality::Good,
+            status: Status::Ok,
+            ..FixResponse::failure(5, Status::Ok)
+        };
+        let len = ok.encode_payload_versioned(1, &mut buf);
+        assert_eq!(
+            FixResponse::decode_payload(&buf[..len]).unwrap().quality,
+            FixQuality::Good
+        );
+    }
+
+    #[test]
+    fn request_version_1_is_still_accepted_and_reported() {
+        let req = FixRequest {
+            id: 8,
+            seed: 9,
+            deadline_ms: 0,
+            no_cache: false,
+            field: FieldSpec::HeadingTruth(42.0),
+        };
+        let mut buf = [0u8; REQUEST_LEN_VECTOR];
+        let len = req.encode_payload(&mut buf);
+        assert_eq!(buf[1], WIRE_VERSION);
+        buf[1] = 1; // downgrade to a v1 client
+        assert_eq!(
+            FixRequest::decode_versioned(&buf[..len]),
+            Ok((req, 1)),
+            "v1 requests must decode with their version reported"
+        );
+    }
+
+    #[test]
+    fn unknown_request_flag_bits_are_rejected() {
+        let req = FixRequest {
+            id: 1,
+            seed: 2,
+            deadline_ms: 0,
+            no_cache: true,
+            field: FieldSpec::HeadingTruth(10.0),
+        };
+        let mut buf = [0u8; REQUEST_LEN_VECTOR];
+        let len = req.encode_payload(&mut buf);
+        buf[2] |= 1 << 6; // a flag bit from the future
+        assert_eq!(
+            FixRequest::decode_payload(&buf[..len]),
+            Err(ProtocolError::BadFlags {
+                got: FLAG_NO_CACHE | 1 << 6
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_at_write_time() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing may reach the wire");
+        let inner = err.get_ref().expect("typed source");
+        let proto = inner
+            .downcast_ref::<ProtocolError>()
+            .expect("ProtocolError source");
+        assert_eq!(*proto, ProtocolError::FrameTooLarge { got: MAX_FRAME + 1 });
+        // At the boundary itself, the frame goes through.
+        write_frame(&mut sink, &vec![0u8; MAX_FRAME]).unwrap();
+        assert_eq!(sink.len(), 4 + MAX_FRAME);
     }
 
     #[test]
@@ -634,6 +869,7 @@ mod tests {
             Status::BadRequest,
             Status::ShuttingDown,
             Status::InvalidConfig,
+            Status::Unmeasurable,
         ] {
             assert_eq!(Status::from_wire(status as u8), Ok(status));
         }
@@ -706,9 +942,10 @@ mod tests {
         #[test]
         fn response_encode_decode_is_identity(
             id in any::<u64>(),
-            status_byte in 0u8..6,
+            status_byte in 0u8..7,
             cache_hit in any::<bool>(),
             clipped in any::<bool>(),
+            quality_idx in 0u8..3,
             heading_bits in any::<u64>(),
             duty_x in 0.0f64..1.0,
             duty_y in 0.0f64..1.0,
@@ -718,11 +955,14 @@ mod tests {
             // Headings from raw bit patterns exercise NaN/∞/subnormal
             // payloads: the response layer must carry them bit-exactly.
             let heading = f64::from_bits(heading_bits);
+            let quality = [FixQuality::Good, FixQuality::Degraded, FixQuality::Invalid]
+                [quality_idx as usize];
             let resp = FixResponse {
                 id,
                 status: Status::from_wire(status_byte).unwrap(),
                 cache_hit,
                 clipped,
+                quality,
                 heading,
                 duty_x,
                 duty_y,
@@ -737,6 +977,7 @@ mod tests {
             prop_assert_eq!(back.status, resp.status);
             prop_assert_eq!(back.cache_hit, resp.cache_hit);
             prop_assert_eq!(back.clipped, resp.clipped);
+            prop_assert_eq!(back.quality, resp.quality);
             prop_assert_eq!(back.count_x, resp.count_x);
             prop_assert_eq!(back.count_y, resp.count_y);
         }

@@ -25,6 +25,25 @@
 //! so a served fix is bit-identical to a direct
 //! [`CompassDesign::measure_heading_scratch`] call with the same seed.
 //!
+//! ## Faults, fix quality, and quarantine
+//!
+//! Every computed fix runs through the health-checked compass path:
+//! an optional [`FaultPlan`] (from `FLUXCOMP_FAULT_PLAN`) injects
+//! seeded, deterministic sensor faults, and each worker's
+//! [`DegradedTracker`] grades the result [`FixQuality::Good`],
+//! `Degraded` (single-axis fallback) or `Invalid` (held heading,
+//! answered as [`Status::Unmeasurable`]). Only `Good` fixes enter the
+//! cache — a degraded heading depends on the worker's hold-last state
+//! and must not be replayed to other clients as a pure fix.
+//!
+//! A worker that produces `quarantine_after` consecutive non-`Good`
+//! computed fixes quarantines itself: it rebuilds its scratch, resets
+//! its tracker, and probes the reference heading off-queue with an
+//! exponential backoff until a probe comes back `Good` (recovery) or
+//! the probe budget runs out (provisional re-entry, so a globally
+//! faulty plant cannot starve the queue). `serve.worker_quarantines` /
+//! `serve.worker_recoveries` count the transitions.
+//!
 //! ## Shutdown
 //!
 //! [`FixServer::shutdown`] is graceful and drains: the acceptor stops,
@@ -35,11 +54,15 @@
 
 use crate::cache::{CachedFix, FixCache, FixKey};
 use crate::protocol::{
-    read_frame_poll, write_response, FieldSpec, FixRequest, FixResponse, PollRead, Status,
+    read_frame_poll, write_response_versioned, FieldSpec, FixRequest, FixResponse, PollRead,
+    Status, WIRE_VERSION,
 };
 use crate::queue::{BatchQueue, PushError};
-use fluxcomp_compass::{CompassDesign, MeasureScratch, Reading};
-use fluxcomp_exec::ExecPolicy;
+use fluxcomp_compass::{
+    CheckedReading, CompassDesign, DegradedTracker, FixQuality, MeasureScratch,
+};
+use fluxcomp_exec::{derive_seed, ExecPolicy};
+use fluxcomp_faults::{AxisSel, FaultKind, FaultPlan, FaultSpec};
 use fluxcomp_obs as obs;
 use fluxcomp_units::angle::Degrees;
 use fluxcomp_units::magnetics::AmperePerMeter;
@@ -53,6 +76,41 @@ use std::time::{Duration, Instant};
 /// How often blocked reads and the acceptor re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 const ACCEPT_IDLE: Duration = Duration::from_millis(5);
+/// Probe attempts per quarantine entry before provisional re-entry.
+const QUARANTINE_PROBES: u32 = 5;
+/// Seed domain for quarantine probe fixes.
+const PROBE_SEED: u64 = 0x5052_4F42;
+
+/// A forced per-worker fault for quarantine/recovery testing: worker
+/// `worker` serves its first `fixes` computed fixes with a stuck-low
+/// X-axis comparator (rate 1.0), then becomes healthy — so a quarantined
+/// worker's probe succeeds and recovery is observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Index of the afflicted worker.
+    pub worker: usize,
+    /// Number of initial computed fixes (probes included) that fault.
+    pub fixes: u64,
+}
+
+impl WorkerFault {
+    /// Parses the `FLUXCOMP_SERVE_WORKER_FAULT` grammar `"W:K"`.
+    pub fn parse(text: &str) -> Option<Self> {
+        let (w, k) = text.trim().split_once(':')?;
+        Some(Self {
+            worker: w.trim().parse().ok()?,
+            fixes: k.trim().parse().ok()?,
+        })
+    }
+
+    fn plan(&self) -> FaultPlan {
+        FaultPlan::new(0x57_464C54).with(FaultSpec {
+            kind: FaultKind::StuckComparator { output: false },
+            axis: AxisSel::X,
+            rate: 1.0,
+        })
+    }
+}
 
 /// Server tuning knobs. [`ServeConfig::default`] is sized for the
 /// integration tests and single-host benches; [`ServeConfig::from_env`]
@@ -77,6 +135,16 @@ pub struct ServeConfig {
     /// and chaos knob for exercising deadline and overload paths; keep
     /// at zero in production.
     pub fix_delay: Duration,
+    /// Seeded fault plan injected into every computed fix; `None` (the
+    /// default) serves the clean, bit-exact measurement path.
+    pub fault_plan: Option<FaultPlan>,
+    /// Consecutive non-`Good` computed fixes before a worker
+    /// quarantines itself; `0` disables quarantine.
+    pub quarantine_after: usize,
+    /// Initial quarantine probe backoff (doubles per failed probe).
+    pub quarantine_backoff: Duration,
+    /// Forced per-worker fault for quarantine/recovery testing.
+    pub worker_fault: Option<WorkerFault>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +157,10 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             fix_delay: Duration::ZERO,
+            fault_plan: None,
+            quarantine_after: 8,
+            quarantine_backoff: Duration::from_millis(10),
+            worker_fault: None,
         }
     }
 }
@@ -104,10 +176,16 @@ impl ServeConfig {
     /// | `FLUXCOMP_SERVE_BATCH` | `batch_max` |
     /// | `FLUXCOMP_SERVE_CACHE` | `cache_capacity` (0 disables) |
     /// | `FLUXCOMP_SERVE_CACHE_SHARDS` | `cache_shards` |
+    /// | `FLUXCOMP_FAULT_PLAN` | `fault_plan` (fault grammar) |
+    /// | `FLUXCOMP_SERVE_QUARANTINE_AFTER` | `quarantine_after` (0 disables) |
+    /// | `FLUXCOMP_SERVE_QUARANTINE_BACKOFF_MS` | `quarantine_backoff` |
+    /// | `FLUXCOMP_SERVE_WORKER_FAULT` | `worker_fault` (`"W:K"`) |
     ///
-    /// Unset or unparsable variables keep the default. The worker
-    /// count additionally honours `FLUXCOMP_THREADS` when `workers`
-    /// resolves to 0, via [`ExecPolicy::auto`].
+    /// Unset or unparsable variables keep the default (a malformed
+    /// fault plan or worker fault is reported on stderr and ignored —
+    /// the server must not start silently faulty). The worker count
+    /// additionally honours `FLUXCOMP_THREADS` when `workers` resolves
+    /// to 0, via [`ExecPolicy::auto`].
     pub fn from_env() -> Self {
         fn num(name: &str, default: usize) -> usize {
             std::env::var(name)
@@ -116,6 +194,25 @@ impl ServeConfig {
                 .unwrap_or(default)
         }
         let d = Self::default();
+        let fault_plan = match FaultPlan::from_env() {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("fluxcomp-serve: ignoring FLUXCOMP_FAULT_PLAN: {e}");
+                None
+            }
+        };
+        let worker_fault = std::env::var("FLUXCOMP_SERVE_WORKER_FAULT")
+            .ok()
+            .and_then(|v| {
+                let parsed = WorkerFault::parse(&v);
+                if parsed.is_none() {
+                    eprintln!(
+                        "fluxcomp-serve: ignoring FLUXCOMP_SERVE_WORKER_FAULT={v:?} \
+                         (expected \"W:K\")"
+                    );
+                }
+                parsed
+            });
         Self {
             addr: std::env::var("FLUXCOMP_SERVE_ADDR").unwrap_or(d.addr),
             workers: num("FLUXCOMP_SERVE_WORKERS", d.workers),
@@ -124,6 +221,13 @@ impl ServeConfig {
             cache_capacity: num("FLUXCOMP_SERVE_CACHE", d.cache_capacity),
             cache_shards: num("FLUXCOMP_SERVE_CACHE_SHARDS", d.cache_shards),
             fix_delay: d.fix_delay,
+            fault_plan,
+            quarantine_after: num("FLUXCOMP_SERVE_QUARANTINE_AFTER", d.quarantine_after),
+            quarantine_backoff: Duration::from_millis(num(
+                "FLUXCOMP_SERVE_QUARANTINE_BACKOFF_MS",
+                d.quarantine_backoff.as_millis() as usize,
+            ) as u64),
+            worker_fault,
         }
     }
 
@@ -144,11 +248,12 @@ struct Conn {
 
 impl Conn {
     /// Serialises the response under the write lock so interleaved
-    /// workers never corrupt the frame stream. A peer that hung up is
-    /// counted, not propagated — the job is complete either way.
-    fn send(&self, response: &FixResponse) {
+    /// workers never corrupt the frame stream, answering at the
+    /// request's wire version. A peer that hung up is counted, not
+    /// propagated — the job is complete either way.
+    fn send(&self, response: &FixResponse, version: u8) {
         let mut writer = self.writer.lock().unwrap();
-        if write_response(&mut *writer, response).is_err() {
+        if write_response_versioned(&mut *writer, response, version).is_err() {
             obs::counter_add("serve.write_errors", 1);
         } else {
             obs::counter_add("serve.responses", 1);
@@ -161,6 +266,8 @@ impl Conn {
 struct Job {
     conn: Arc<Conn>,
     request: FixRequest,
+    /// Wire version the request arrived at; the response answers at it.
+    version: u8,
     enqueued: Instant,
 }
 
@@ -172,6 +279,10 @@ struct Shared {
     shutting_down: AtomicBool,
     batch_max: usize,
     fix_delay: Duration,
+    fault_plan: Option<FaultPlan>,
+    quarantine_after: usize,
+    quarantine_backoff: Duration,
+    worker_fault: Option<WorkerFault>,
     readers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -198,6 +309,10 @@ impl FixServer {
             shutting_down: AtomicBool::new(false),
             batch_max: config.batch_max,
             fix_delay: config.fix_delay,
+            fault_plan: config.fault_plan.clone(),
+            quarantine_after: config.quarantine_after,
+            quarantine_backoff: config.quarantine_backoff,
+            worker_fault: config.worker_fault,
             readers: Mutex::new(Vec::new()),
             design,
         });
@@ -206,7 +321,7 @@ impl FixServer {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("fix-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
             })
             .collect::<io::Result<Vec<_>>>()?;
         let acceptor = {
@@ -309,22 +424,29 @@ fn reader_loop(shared: &Shared, conn: &Arc<Conn>, mut stream: TcpStream) {
     let stop = || shared.shutting_down.load(Ordering::SeqCst);
     loop {
         match read_frame_poll(&mut stream, &mut buf, &stop) {
-            Ok(PollRead::Frame(len)) => match FixRequest::decode_payload(&buf[..len]) {
-                Ok(request) => {
+            Ok(PollRead::Frame(len)) => match FixRequest::decode_versioned(&buf[..len]) {
+                Ok((request, version)) => {
                     obs::counter_add("serve.requests", 1);
                     let job = Job {
                         conn: Arc::clone(conn),
                         request,
+                        version,
                         enqueued: Instant::now(),
                     };
                     match shared.queue.try_push(job) {
                         Ok(()) => obs::gauge_set("serve.queue_depth", shared.queue.len() as f64),
                         Err(PushError::Full) => {
                             obs::counter_add("serve.overloaded", 1);
-                            conn.send(&FixResponse::failure(request.id, Status::Overloaded));
+                            conn.send(
+                                &FixResponse::failure(request.id, Status::Overloaded),
+                                version,
+                            );
                         }
                         Err(PushError::Closed) => {
-                            conn.send(&FixResponse::failure(request.id, Status::ShuttingDown));
+                            conn.send(
+                                &FixResponse::failure(request.id, Status::ShuttingDown),
+                                version,
+                            );
                         }
                     }
                 }
@@ -332,49 +454,108 @@ fn reader_loop(shared: &Shared, conn: &Arc<Conn>, mut stream: TcpStream) {
                     // Malformed payload: answer and hang up — framing
                     // may be unreliable from here on.
                     obs::counter_add("serve.bad_requests", 1);
-                    conn.send(&FixResponse::failure(0, Status::BadRequest));
+                    conn.send(&FixResponse::failure(0, Status::BadRequest), WIRE_VERSION);
                     return;
                 }
             },
             Ok(PollRead::Eof) | Ok(PollRead::Stopped) => return,
             Err(_) => {
                 obs::counter_add("serve.bad_requests", 1);
-                conn.send(&FixResponse::failure(0, Status::BadRequest));
+                conn.send(&FixResponse::failure(0, Status::BadRequest), WIRE_VERSION);
                 return;
             }
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let mut scratch = MeasureScratch::for_design(&shared.design);
+/// Per-worker mutable state: the reusable scratch, the degraded-mode
+/// tracker (hold-last heading, health policy), the computed-fix count
+/// driving the forced worker fault, and the quarantine trip counter.
+struct WorkerState {
+    index: usize,
+    scratch: MeasureScratch,
+    tracker: DegradedTracker,
+    /// Fixes actually measured by this worker (cache hits excluded,
+    /// quarantine probes included — the forced fault counts them too).
+    computed: u64,
+    consecutive_bad: usize,
+    forced: Option<(FaultPlan, u64)>,
+}
+
+impl WorkerState {
+    fn new(shared: &Shared, index: usize) -> Self {
+        Self {
+            index,
+            scratch: MeasureScratch::for_design(&shared.design),
+            tracker: DegradedTracker::for_design(&shared.design),
+            computed: 0,
+            consecutive_bad: 0,
+            forced: shared
+                .worker_fault
+                .filter(|wf| wf.worker == index)
+                .map(|wf| (wf.plan(), wf.fixes)),
+        }
+    }
+}
+
+/// The fault plan for the worker's next computed fix: the forced worker
+/// fault while it lasts, else the server-wide plan. A free function
+/// over the split-out fields so the caller can hold `&mut` borrows of
+/// the worker's scratch and tracker at the same time.
+fn active_plan<'a>(
+    shared: &'a Shared,
+    forced: &'a Option<(FaultPlan, u64)>,
+    computed: u64,
+) -> Option<&'a FaultPlan> {
+    match forced {
+        Some((plan, fixes)) if computed < *fixes => Some(plan),
+        _ => shared.fault_plan.as_ref(),
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut state = WorkerState::new(shared, index);
     let mut batch: Vec<Job> = Vec::with_capacity(shared.batch_max);
     while shared.queue.pop_batch(shared.batch_max, &mut batch) {
         obs::counter_add("serve.batches", 1);
         obs::histogram_record("serve.batch_size", batch.len() as f64);
         for job in batch.drain(..) {
-            handle_job(shared, &mut scratch, &job);
+            handle_job(shared, &mut state, &job);
         }
     }
 }
 
-fn handle_job(shared: &Shared, scratch: &mut MeasureScratch, job: &Job) {
+fn handle_job(shared: &Shared, state: &mut WorkerState, job: &Job) {
     let span = obs::span("serve.fix");
     let request = &job.request;
     let deadline = Duration::from_millis(u64::from(request.deadline_ms));
     if request.deadline_ms > 0 && job.enqueued.elapsed() >= deadline {
         obs::counter_add("serve.deadline_exceeded", 1);
-        job.conn
-            .send(&FixResponse::failure(request.id, Status::DeadlineExceeded));
+        job.conn.send(
+            &FixResponse::failure(request.id, Status::DeadlineExceeded),
+            job.version,
+        );
         span.finish();
         return;
     }
-    let key = FixKey::for_request(request);
+    // A request whose field floats are non-finite cannot name a fix:
+    // reject it before it reaches the physics (or the cache).
+    let Some(key) = FixKey::for_request(request) else {
+        obs::counter_add("serve.bad_fields", 1);
+        job.conn.send(
+            &FixResponse::failure(request.id, Status::BadRequest),
+            job.version,
+        );
+        span.finish();
+        return;
+    };
     if !request.no_cache {
         if let Some(hit) = shared.cache.get(&key) {
             obs::counter_add("serve.cache_hits", 1);
-            job.conn.send(&response_for(request.id, &hit, true));
-            record_latency(job);
+            // Only Good fixes are ever inserted, so a hit is Good.
+            job.conn
+                .send(&response_for(request.id, &hit, true), job.version);
+            record_latency(job, FixQuality::Good);
             span.finish();
             return;
         }
@@ -383,29 +564,128 @@ fn handle_job(shared: &Shared, scratch: &mut MeasureScratch, job: &Job) {
     if !shared.fix_delay.is_zero() {
         thread::sleep(shared.fix_delay);
     }
-    let reading = match request.field {
-        FieldSpec::HeadingTruth(deg) => {
-            shared
-                .design
-                .measure_heading_scratch(Degrees::new(deg), request.seed, scratch)
+    let checked = measure_checked(shared, state, request);
+    state.computed += 1;
+    let quality = checked.quality;
+    match quality {
+        FixQuality::Good => {
+            obs::counter_add("serve.fix_good", 1);
+            state.consecutive_bad = 0;
+            if !request.no_cache {
+                // Degraded/Invalid headings depend on this worker's
+                // hold-last state; only pure Good fixes are shareable.
+                shared.cache.insert(key, cached_fix(&checked));
+            }
         }
-        FieldSpec::FieldVector { hx, hy } => shared.design.measure_field_scratch(
+        FixQuality::Degraded => {
+            obs::counter_add("serve.fix_degraded", 1);
+            state.consecutive_bad += 1;
+        }
+        FixQuality::Invalid => {
+            obs::counter_add("serve.fix_invalid", 1);
+            state.consecutive_bad += 1;
+        }
+    }
+    job.conn
+        .send(&checked_response(request.id, &checked), job.version);
+    record_latency(job, quality);
+    span.finish();
+    if shared.quarantine_after > 0 && state.consecutive_bad >= shared.quarantine_after {
+        quarantine(shared, state);
+    }
+}
+
+fn measure_checked(
+    shared: &Shared,
+    state: &mut WorkerState,
+    request: &FixRequest,
+) -> CheckedReading {
+    let WorkerState {
+        scratch,
+        tracker,
+        computed,
+        forced,
+        ..
+    } = state;
+    let plan = active_plan(shared, forced, *computed);
+    match request.field {
+        FieldSpec::HeadingTruth(deg) => shared.design.measure_heading_checked(
+            Degrees::new(deg),
+            request.seed,
+            scratch,
+            plan,
+            tracker,
+        ),
+        FieldSpec::FieldVector { hx, hy } => shared.design.measure_field_checked(
             AmperePerMeter::new(hx),
             AmperePerMeter::new(hy),
             request.seed,
             scratch,
+            plan,
+            tracker,
         ),
-    };
-    let fix = cached_fix(&reading);
-    if !request.no_cache {
-        shared.cache.insert(key, fix);
     }
-    job.conn.send(&response_for(request.id, &fix, false));
-    record_latency(job);
+}
+
+/// Pause-and-probe quarantine: rebuild the scratch, reset the tracker,
+/// then probe the reference fix off-queue with exponential backoff. A
+/// `Good` probe is a recovery; exhausting the probe budget re-enters
+/// service provisionally so a plant-wide fault cannot starve the queue.
+fn quarantine(shared: &Shared, state: &mut WorkerState) {
+    let span = obs::span("serve.quarantine");
+    obs::counter_add("serve.worker_quarantines", 1);
+    eprintln!(
+        "fluxcomp-serve: worker {} quarantined after {} consecutive non-good fixes",
+        state.index, state.consecutive_bad
+    );
+    state.scratch = MeasureScratch::for_design(&shared.design);
+    state.tracker.reset();
+    let mut backoff = shared.quarantine_backoff.max(Duration::from_millis(1));
+    for attempt in 0..QUARANTINE_PROBES {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        thread::sleep(backoff);
+        backoff = (backoff * 2).min(shared.quarantine_backoff.max(Duration::from_millis(1)) * 8);
+        let seed = derive_seed(PROBE_SEED, state.computed.wrapping_add(u64::from(attempt)));
+        let WorkerState {
+            scratch,
+            tracker,
+            computed,
+            forced,
+            ..
+        } = &mut *state;
+        let plan = active_plan(shared, forced, *computed);
+        let probe =
+            shared
+                .design
+                .measure_heading_checked(Degrees::ZERO, seed, scratch, plan, tracker);
+        state.computed += 1;
+        if probe.quality == FixQuality::Good {
+            obs::counter_add("serve.worker_recoveries", 1);
+            eprintln!(
+                "fluxcomp-serve: worker {} recovered after {} probe(s)",
+                state.index,
+                attempt + 1
+            );
+            state.consecutive_bad = 0;
+            span.finish();
+            return;
+        }
+        // A failed probe leaves held state in the tracker; start the
+        // next probe (and any provisional service) clean.
+        state.tracker.reset();
+    }
+    eprintln!(
+        "fluxcomp-serve: worker {} probe budget exhausted, re-entering service provisionally",
+        state.index
+    );
+    state.consecutive_bad = 0;
     span.finish();
 }
 
-fn cached_fix(reading: &Reading) -> CachedFix {
+fn cached_fix(checked: &CheckedReading) -> CachedFix {
+    let reading = &checked.reading;
     CachedFix {
         heading: reading.heading.value(),
         duty_x: reading.x.duty,
@@ -420,6 +700,7 @@ fn response_for(id: u64, fix: &CachedFix, cache_hit: bool) -> FixResponse {
     FixResponse {
         id,
         status: Status::Ok,
+        quality: FixQuality::Good,
         cache_hit,
         clipped: fix.clipped,
         heading: fix.heading,
@@ -430,9 +711,38 @@ fn response_for(id: u64, fix: &CachedFix, cache_hit: bool) -> FixResponse {
     }
 }
 
-fn record_latency(job: &Job) {
+/// The wire response for a freshly computed health-checked fix.
+/// `Invalid` fixes answer [`Status::Unmeasurable`] but still carry the
+/// held heading and the raw duty/count evidence, so a client can apply
+/// its own policy to the stale value.
+fn checked_response(id: u64, checked: &CheckedReading) -> FixResponse {
+    let reading = &checked.reading;
+    FixResponse {
+        id,
+        status: match checked.quality {
+            FixQuality::Invalid => Status::Unmeasurable,
+            _ => Status::Ok,
+        },
+        quality: checked.quality,
+        cache_hit: false,
+        clipped: reading.x.clipped || reading.y.clipped,
+        heading: reading.heading.value(),
+        duty_x: reading.x.duty,
+        duty_y: reading.y.duty,
+        count_x: reading.x.count,
+        count_y: reading.y.count,
+    }
+}
+
+fn record_latency(job: &Job, quality: FixQuality) {
+    let us = job.enqueued.elapsed().as_secs_f64() * 1e6;
+    obs::histogram_record("serve.latency_us", us);
     obs::histogram_record(
-        "serve.latency_us",
-        job.enqueued.elapsed().as_secs_f64() * 1e6,
+        match quality {
+            FixQuality::Good => "serve.latency_us_good",
+            FixQuality::Degraded => "serve.latency_us_degraded",
+            FixQuality::Invalid => "serve.latency_us_invalid",
+        },
+        us,
     );
 }

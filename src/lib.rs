@@ -27,8 +27,11 @@
 //! * [`mcm`] — multi-chip module with boundary scan
 //! * [`compass`] — the integrated system of Fig. 1 (the paper's
 //!   contribution)
+//! * [`faults`] — seeded deterministic fault injection (open pickup,
+//!   stuck comparator, drift, dropout, noise bursts) feeding the
+//!   degraded-mode machinery in [`compass`] and [`serve`]
 //! * [`serve`] — the fix server: TCP service with batching, fix cache,
-//!   deadlines and a load-generator harness
+//!   deadlines, fault-aware fix quality and a load-generator harness
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@
 pub use fluxcomp_afe as afe;
 pub use fluxcomp_compass as compass;
 pub use fluxcomp_exec as exec;
+pub use fluxcomp_faults as faults;
 pub use fluxcomp_fluxgate as fluxgate;
 pub use fluxcomp_mcm as mcm;
 pub use fluxcomp_msim as msim;

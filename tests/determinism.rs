@@ -224,3 +224,118 @@ fn recording_does_not_perturb_results() {
     assert_eq!(profile.counter("exec.tasks"), Some(48));
     assert!(profile.span("compass.sweep").is_some());
 }
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_the_clean_path() {
+    // A FaultPlan with no specs must not perturb the no-fault bitstream:
+    // the faulted entry points delegate to the clean fast path, so every
+    // duty, count and heading agrees bit for bit.
+    use fluxcomp::faults::FaultPlan;
+    let mut cfg = CompassConfig::paper_design();
+    cfg.frontend.pickup_noise_rms = 2e-3;
+    let design = CompassDesign::new(cfg).expect("valid design");
+    let plan = FaultPlan::none();
+    let mut clean_scratch = MeasureScratch::for_design(&design);
+    let mut fault_scratch = MeasureScratch::for_design(&design);
+    for k in 0..24u64 {
+        let truth = Degrees::new(k as f64 * 15.0);
+        let seed = fluxcomp::exec::derive_seed(0xFA17, k);
+        let clean = design.measure_heading_scratch(truth, seed, &mut clean_scratch);
+        let faulted =
+            design.measure_heading_scratch_faulted(truth, seed, &mut fault_scratch, &plan);
+        assert_eq!(
+            clean.heading.value().to_bits(),
+            faulted.heading.value().to_bits(),
+            "fix {k}: heading differs under a zero fault plan"
+        );
+        assert_eq!(clean.x.count, faulted.x.count, "fix {k}: x count differs");
+        assert_eq!(clean.y.count, faulted.y.count, "fix {k}: y count differs");
+        assert_eq!(
+            clean.x.duty.to_bits(),
+            faulted.x.duty.to_bits(),
+            "fix {k}: x duty differs"
+        );
+        assert_eq!(
+            clean.y.duty.to_bits(),
+            faulted.y.duty.to_bits(),
+            "fix {k}: y duty differs"
+        );
+    }
+}
+
+#[test]
+fn faulted_fixes_are_a_pure_function_of_the_fix_seed() {
+    // Fault activation derives from (plan seed, fix seed, axis, spec
+    // index) alone — no shared RNG stream — so the same fix seed gives
+    // the same faulted measurement no matter what was measured before
+    // it, in what order, or on which worker's scratch.
+    use fluxcomp::faults::{AxisSel, FaultKind, FaultPlan, FaultSpec};
+    let mut cfg = CompassConfig::paper_design();
+    cfg.frontend.pickup_noise_rms = 2e-3;
+    let design = CompassDesign::new(cfg).expect("valid design");
+    let plan = FaultPlan::new(0xDE7E12)
+        .with(FaultSpec {
+            kind: FaultKind::OpenPickup,
+            axis: AxisSel::X,
+            rate: 0.3,
+        })
+        .with(FaultSpec {
+            kind: FaultKind::NoiseBurst {
+                rms: 0.05,
+                from: 0.2,
+                until: 0.6,
+            },
+            axis: AxisSel::Both,
+            rate: 0.5,
+        });
+    let fixes = 32u64;
+    let truth_of = |k: u64| Degrees::new(k as f64 * 11.25);
+    let seed_of = |k: u64| fluxcomp::exec::derive_seed(0xBEEF, k);
+
+    let mut forward_scratch = MeasureScratch::for_design(&design);
+    let forward: Vec<_> = (0..fixes)
+        .map(|k| {
+            design.measure_heading_scratch_faulted(
+                truth_of(k),
+                seed_of(k),
+                &mut forward_scratch,
+                &plan,
+            )
+        })
+        .collect();
+
+    // Same fixes, reversed order, a different worker's scratch.
+    let mut reverse_scratch = MeasureScratch::for_design(&design);
+    let mut reverse: Vec<_> = (0..fixes)
+        .rev()
+        .map(|k| {
+            design.measure_heading_scratch_faulted(
+                truth_of(k),
+                seed_of(k),
+                &mut reverse_scratch,
+                &plan,
+            )
+        })
+        .collect();
+    reverse.reverse();
+
+    let mut faulted_any = false;
+    for (k, (a, b)) in forward.iter().zip(reverse.iter()).enumerate() {
+        assert_eq!(
+            a.heading.value().to_bits(),
+            b.heading.value().to_bits(),
+            "fix {k}: faulted heading depends on measurement order"
+        );
+        assert_eq!(a.x.count, b.x.count, "fix {k}: x count differs");
+        assert_eq!(a.y.count, b.y.count, "fix {k}: y count differs");
+        // An open X pickup at 30% must actually fire somewhere in 32
+        // draws; detect it through the collapsed duty.
+        if (a.x.duty - 0.5).abs() > 0.4 {
+            faulted_any = true;
+        }
+    }
+    assert!(
+        faulted_any,
+        "no fault ever activated at rate 0.3 over 32 fixes"
+    );
+}
